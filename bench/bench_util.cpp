@@ -1,0 +1,76 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "workload/host_selection.h"
+
+namespace propsim::bench {
+
+BenchOptions parse_options(int argc, char** argv) {
+  BenchOptions opts;
+  if (const char* env = std::getenv("PROPSIM_QUICK");
+      env != nullptr && env[0] == '1') {
+    opts.quick = true;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      opts.quick = true;
+    } else if (arg == "--part" && i + 1 < argc) {
+      opts.part = argv[++i];
+    } else if (arg == "--seed" && i + 1 < argc) {
+      opts.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--help") {
+      std::printf("usage: %s [--quick] [--part a|b|c] [--seed N]\n", argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return opts;
+}
+
+void print_header(const std::string& experiment, const std::string& claim) {
+  std::printf("==================================================\n");
+  std::printf("experiment: %s\n", experiment.c_str());
+  std::printf("paper claim: %s\n", claim.c_str());
+  std::printf("==================================================\n");
+}
+
+void print_csv_block(const std::string& name, const std::string& csv) {
+  std::printf("--- begin csv: %s ---\n%s--- end csv: %s ---\n", name.c_str(),
+              csv.c_str(), name.c_str());
+}
+
+void print_verdict(bool holds, const std::string& detail) {
+  std::printf("verdict: %s — %s\n\n", holds ? "HOLDS" : "DIVERGES",
+              detail.c_str());
+}
+
+PropParams paper_prop_params(PropMode mode) {
+  PropParams p;
+  p.mode = mode;
+  p.nhops = 2;
+  p.m = 0;  // delta(G)
+  p.min_var = 0.0;
+  p.max_init_trial = 10;
+  p.init_timer_s = 60.0;
+  return p;
+}
+
+OverlayNetwork build_unstructured(World& world, std::size_t n, Rng& rng) {
+  const auto hosts = select_stub_hosts(world.topo, n, rng);
+  GnutellaConfig cfg;  // attach_links = 4 -> delta(G) = 4, as in the paper
+  return build_gnutella_overlay(cfg, hosts, world.oracle, rng);
+}
+
+std::string improvement_factor(double before, double after) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2fx", before / after);
+  return buf;
+}
+
+}  // namespace propsim::bench

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Extract the CSV blocks a propsim bench prints into standalone files.
+
+Every bench brackets its plot-ready data with
+
+    --- begin csv: NAME ---
+    ...csv...
+    --- end csv: NAME ---
+
+Usage:
+    ./build/bench/fig5_gnutella_prop_g | scripts/extract_csv.py -o results/
+    scripts/extract_csv.py -o results/ bench_output.txt
+
+writes results/NAME.csv per block (later duplicates get .2.csv, ...).
+A gnuplot one-liner for a time-series block:
+
+    gnuplot -p -e "set datafile separator ','; set key autotitle columnhead; \
+                   plot for [i=2:5] 'results/fig5a.csv' using 1:i with lines"
+"""
+import argparse
+import os
+import re
+import sys
+
+BEGIN = re.compile(r"^--- begin csv: (?P<name>.+?) ---$")
+END = re.compile(r"^--- end csv: (?P<name>.+?) ---$")
+
+
+def extract(stream, outdir):
+    os.makedirs(outdir, exist_ok=True)
+    written = {}
+    name, lines = None, []
+    for raw in stream:
+        line = raw.rstrip("\n")
+        m = BEGIN.match(line)
+        if m:
+            name, lines = m.group("name"), []
+            continue
+        m = END.match(line)
+        if m and name is not None:
+            count = written.get(name, 0) + 1
+            written[name] = count
+            suffix = "" if count == 1 else f".{count}"
+            path = os.path.join(outdir, f"{name}{suffix}.csv")
+            with open(path, "w") as f:
+                f.write("\n".join(lines) + "\n")
+            print(f"wrote {path} ({len(lines)} lines)")
+            name = None
+            continue
+        if name is not None:
+            lines.append(line)
+    if name is not None:
+        print(f"warning: unterminated csv block '{name}'", file=sys.stderr)
+    return sum(written.values())
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("inputs", nargs="*", help="bench output files "
+                        "(default: stdin)")
+    parser.add_argument("-o", "--outdir", default="results",
+                        help="output directory (default: results/)")
+    args = parser.parse_args()
+
+    total = 0
+    if args.inputs:
+        for path in args.inputs:
+            with open(path) as f:
+                total += extract(f, args.outdir)
+    else:
+        total += extract(sys.stdin, args.outdir)
+    if total == 0:
+        print("no csv blocks found", file=sys.stderr)
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

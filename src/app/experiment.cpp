@@ -1,0 +1,402 @@
+#include "app/experiment.h"
+
+#include <functional>
+#include <memory>
+
+#include "can/can_space.h"
+#include "chord/chord_ring.h"
+#include "core/prop_engine.h"
+#include "gnutella/gnutella.h"
+#include "metrics/convergence.h"
+#include "metrics/metrics.h"
+#include "pastry/pastry.h"
+#include "sim/simulator.h"
+#include "tapestry/tapestry.h"
+#include "topology/random_graphs.h"
+#include "topology/transit_stub.h"
+#include "workload/host_selection.h"
+#include "workload/lookup_traffic.h"
+#include "workload/lookups.h"
+
+namespace propsim {
+namespace {
+
+ExperimentSpec::Topology parse_topology(const std::string& v) {
+  if (v == "ts-large") return ExperimentSpec::Topology::kTsLarge;
+  if (v == "ts-small") return ExperimentSpec::Topology::kTsSmall;
+  if (v == "waxman") return ExperimentSpec::Topology::kWaxman;
+  PROPSIM_CHECK(false && "topology must be ts-large | ts-small | waxman");
+  return ExperimentSpec::Topology::kTsLarge;
+}
+
+ExperimentSpec::Overlay parse_overlay(const std::string& v) {
+  if (v == "gnutella") return ExperimentSpec::Overlay::kGnutella;
+  if (v == "chord") return ExperimentSpec::Overlay::kChord;
+  if (v == "pastry") return ExperimentSpec::Overlay::kPastry;
+  if (v == "tapestry") return ExperimentSpec::Overlay::kTapestry;
+  if (v == "can") return ExperimentSpec::Overlay::kCan;
+  PROPSIM_CHECK(false &&
+                "overlay must be gnutella | chord | pastry | tapestry | can");
+  return ExperimentSpec::Overlay::kGnutella;
+}
+
+ExperimentSpec::Protocol parse_protocol(const std::string& v) {
+  if (v == "none") return ExperimentSpec::Protocol::kNone;
+  if (v == "prop-g") return ExperimentSpec::Protocol::kPropG;
+  if (v == "prop-o") return ExperimentSpec::Protocol::kPropO;
+  if (v == "ltm") return ExperimentSpec::Protocol::kLtm;
+  PROPSIM_CHECK(false && "protocol must be none | prop-g | prop-o | ltm");
+  return ExperimentSpec::Protocol::kNone;
+}
+
+ExperimentSpec::Heterogeneity parse_heterogeneity(const std::string& v) {
+  if (v == "none") return ExperimentSpec::Heterogeneity::kNone;
+  if (v == "bimodal") return ExperimentSpec::Heterogeneity::kBimodal;
+  if (v == "bimodal-degree") {
+    return ExperimentSpec::Heterogeneity::kBimodalByDegree;
+  }
+  PROPSIM_CHECK(false &&
+                "heterogeneity must be none | bimodal | bimodal-degree");
+  return ExperimentSpec::Heterogeneity::kNone;
+}
+
+}  // namespace
+
+ExperimentSpec ExperimentSpec::from_config(const Config& config) {
+  ExperimentSpec spec;
+  spec.topology = parse_topology(config.get_string("topology", "ts-large"));
+  spec.overlay = parse_overlay(config.get_string("overlay", "gnutella"));
+  spec.protocol = parse_protocol(config.get_string("protocol", "prop-g"));
+
+  spec.nodes = static_cast<std::size_t>(config.get_int("nodes", 1000));
+  PROPSIM_CHECK(spec.nodes >= 8);
+  spec.seed = static_cast<std::uint64_t>(config.get_int("seed", 20070901));
+  spec.horizon_s = config.get_double("horizon", 3600.0);
+  PROPSIM_CHECK(spec.horizon_s > 0.0);
+  spec.sample_interval_s =
+      config.get_double("sample_interval", spec.horizon_s / 15.0);
+  PROPSIM_CHECK(spec.sample_interval_s > 0.0);
+  spec.queries = static_cast<std::size_t>(config.get_int("queries", 10000));
+  PROPSIM_CHECK(spec.queries >= 1);
+
+  spec.prop.mode = spec.protocol == Protocol::kPropO ? PropMode::kPropO
+                                                     : PropMode::kPropG;
+  spec.prop.nhops =
+      static_cast<std::size_t>(config.get_int("nhops", 2));
+  spec.prop.m = static_cast<std::size_t>(config.get_int("m", 0));
+  spec.prop.min_var = config.get_double("min_var", 0.0);
+  spec.prop.init_timer_s = config.get_double("init_timer", 60.0);
+  spec.prop.max_init_trial =
+      static_cast<std::size_t>(config.get_int("max_init_trial", 10));
+  spec.prop.random_target = config.get_bool("random_target", false);
+  spec.prop.model_message_delays =
+      config.get_bool("model_message_delays", false);
+  const std::string selection = config.get_string("selection", "greedy");
+  if (selection == "greedy") {
+    spec.prop.selection = SelectionPolicy::kGreedy;
+  } else if (selection == "random") {
+    spec.prop.selection = SelectionPolicy::kRandom;
+  } else {
+    PROPSIM_CHECK(false && "selection must be greedy | random");
+  }
+  spec.ltm.interval_s = spec.prop.init_timer_s;
+  spec.lookup_rate_per_s = config.get_double("lookup_rate", 0.0);
+  PROPSIM_CHECK(spec.lookup_rate_per_s >= 0.0);
+
+  spec.heterogeneity =
+      parse_heterogeneity(config.get_string("heterogeneity", "none"));
+  spec.bimodal.fast_fraction = config.get_double("fast_fraction", 0.2);
+  spec.bimodal.fast_delay_ms = config.get_double("fast_delay_ms", 10.0);
+  spec.bimodal.slow_delay_ms = config.get_double("slow_delay_ms", 100.0);
+  spec.fraction_fast_dest = config.get_double("fraction_fast_dest", -1.0);
+  if (spec.fraction_fast_dest >= 0.0) {
+    PROPSIM_CHECK(spec.heterogeneity != Heterogeneity::kNone);
+    PROPSIM_CHECK(spec.fraction_fast_dest <= 1.0);
+  }
+
+  spec.churn.join_rate_per_s = config.get_double("churn_join_rate", 0.0);
+  spec.churn.leave_rate_per_s = config.get_double("churn_leave_rate", 0.0);
+  spec.churn.fail_rate_per_s = config.get_double("churn_fail_rate", 0.0);
+  spec.churn.start_s = config.get_double("churn_start", 0.0);
+  spec.churn.end_s = config.get_double("churn_end", spec.horizon_s);
+
+  const bool has_churn = spec.churn.join_rate_per_s > 0.0 ||
+                         spec.churn.leave_rate_per_s > 0.0 ||
+                         spec.churn.fail_rate_per_s > 0.0;
+  if (spec.overlay != Overlay::kGnutella) {
+    // LTM and the churn process are unstructured-overlay machinery.
+    PROPSIM_CHECK(spec.protocol != Protocol::kLtm);
+    PROPSIM_CHECK(!has_churn);
+    // PROP-O rewires edges, which would corrupt a DHT's routing
+    // structure; the paper applies it to unstructured systems only.
+    PROPSIM_CHECK(spec.protocol != Protocol::kPropO);
+  }
+  return spec;
+}
+
+ExperimentResult run_experiment(const ExperimentSpec& spec) {
+  Rng rng(spec.seed);
+
+  // --- Physical topology. ---
+  Graph waxman;  // storage when selected
+  std::unique_ptr<TransitStubTopology> ts;
+  const Graph* physical = nullptr;
+  std::vector<NodeId> stub_pool;
+  switch (spec.topology) {
+    case ExperimentSpec::Topology::kTsLarge:
+    case ExperimentSpec::Topology::kTsSmall: {
+      const auto cfg = spec.topology == ExperimentSpec::Topology::kTsLarge
+                           ? TransitStubConfig::ts_large()
+                           : TransitStubConfig::ts_small();
+      ts = std::make_unique<TransitStubTopology>(make_transit_stub(cfg, rng));
+      physical = &ts->graph;
+      stub_pool = ts->stub_nodes;
+      break;
+    }
+    case ExperimentSpec::Topology::kWaxman: {
+      waxman = make_waxman_graph(std::max<std::size_t>(4 * spec.nodes, 64),
+                                 0.25, 0.4, 200.0, 2.0, rng);
+      physical = &waxman;
+      stub_pool.resize(waxman.node_count());
+      for (NodeId h = 0; h < waxman.node_count(); ++h) stub_pool[h] = h;
+      break;
+    }
+  }
+  PROPSIM_CHECK(spec.nodes + spec.nodes / 4 <= stub_pool.size());
+  LatencyOracle oracle(*physical);
+
+  // --- Overlay hosts (plus spares for churn joins). ---
+  rng.shuffle(stub_pool);
+  std::vector<NodeId> hosts(stub_pool.begin(),
+                            stub_pool.begin() +
+                                static_cast<std::ptrdiff_t>(spec.nodes));
+  std::vector<NodeId> spares(
+      stub_pool.begin() + static_cast<std::ptrdiff_t>(spec.nodes),
+      stub_pool.begin() + static_cast<std::ptrdiff_t>(spec.nodes +
+                                                      spec.nodes / 4));
+
+  // --- Overlay substrate + routed-latency metric. ---
+  GnutellaConfig gcfg;
+  std::unique_ptr<ChordRing> chord;
+  std::unique_ptr<PastryNetwork> pastry;
+  std::unique_ptr<TapestryNetwork> tapestry;
+  std::unique_ptr<CanSpace> can;
+  std::unique_ptr<OverlayNetwork> net;
+  switch (spec.overlay) {
+    case ExperimentSpec::Overlay::kGnutella:
+      net = std::make_unique<OverlayNetwork>(
+          build_gnutella_overlay(gcfg, hosts, oracle, rng));
+      break;
+    case ExperimentSpec::Overlay::kChord:
+      chord = std::make_unique<ChordRing>(
+          ChordRing::build_random(spec.nodes, ChordConfig{}, rng));
+      net = std::make_unique<OverlayNetwork>(
+          make_chord_overlay(*chord, hosts, oracle));
+      break;
+    case ExperimentSpec::Overlay::kPastry:
+      pastry = std::make_unique<PastryNetwork>(
+          PastryNetwork::build_random(spec.nodes, PastryConfig{}, rng));
+      net = std::make_unique<OverlayNetwork>(
+          make_pastry_overlay(*pastry, hosts, oracle));
+      break;
+    case ExperimentSpec::Overlay::kTapestry:
+      tapestry = std::make_unique<TapestryNetwork>(
+          TapestryNetwork::build_random(spec.nodes, TapestryConfig{}, rng));
+      net = std::make_unique<OverlayNetwork>(
+          make_tapestry_overlay(*tapestry, hosts, oracle));
+      break;
+    case ExperimentSpec::Overlay::kCan:
+      can = std::make_unique<CanSpace>(CanSpace::build(spec.nodes, rng));
+      net = std::make_unique<OverlayNetwork>(
+          make_can_overlay(*can, hosts, oracle));
+      break;
+  }
+
+  // --- Heterogeneity (processing delays follow hosts). ---
+  std::unique_ptr<BimodalDelays> delays;
+  Rng hrng = rng.split();
+  switch (spec.heterogeneity) {
+    case ExperimentSpec::Heterogeneity::kNone:
+      break;
+    case ExperimentSpec::Heterogeneity::kBimodal:
+      delays = std::make_unique<BimodalDelays>(
+          make_bimodal_delays(*net, spec.bimodal, hrng));
+      break;
+    case ExperimentSpec::Heterogeneity::kBimodalByDegree:
+      delays = std::make_unique<BimodalDelays>(
+          make_bimodal_delays_by_degree(*net, spec.bimodal, hrng));
+      break;
+  }
+
+  // --- Workload. ---
+  // With churn the membership shifts under the workload, so queries are
+  // regenerated at every sample; without churn a fixed query set keeps
+  // the series noise-free.
+  Rng qrng(spec.seed ^ 0x2545f4914f6cdd1dULL);
+  const bool has_churn = spec.churn.join_rate_per_s > 0.0 ||
+                         spec.churn.leave_rate_per_s > 0.0 ||
+                         spec.churn.fail_rate_per_s > 0.0;
+  auto make_queries = [&]() -> std::vector<QueryPair> {
+    if (spec.fraction_fast_dest >= 0.0) {
+      return biased_queries(net->graph(), delays->slot_fast(*net),
+                            spec.fraction_fast_dest, spec.queries, qrng);
+    }
+    return uniform_queries(net->graph(), spec.queries, qrng);
+  };
+  std::vector<QueryPair> queries;
+  if (!has_churn) queries = make_queries();
+
+  // Metric closure. The slot-delay view is re-materialized per sample
+  // because PROP-G moves hosts and churn rebinds slots.
+  ExperimentResult result;
+  const bool structured = spec.overlay != ExperimentSpec::Overlay::kGnutella;
+  result.metric_name = structured ? "stretch" : "lookup_ms";
+  auto metric = [&]() -> double {
+    if (has_churn) queries = make_queries();
+    std::vector<double> proc;
+    const std::vector<double>* proc_ptr = nullptr;
+    if (delays) {
+      proc = delays->slot_delays(*net);
+      proc_ptr = &proc;
+    }
+    switch (spec.overlay) {
+      case ExperimentSpec::Overlay::kGnutella:
+        return average_unstructured_lookup_latency(*net, queries, proc_ptr);
+      case ExperimentSpec::Overlay::kChord:
+        return stretch(*net, queries, chord_router(*net, *chord, proc_ptr))
+            .stretch;
+      case ExperimentSpec::Overlay::kPastry:
+        return stretch(*net, queries,
+                       [&](const QueryPair& q) {
+                         const auto path = pastry->lookup_path(
+                             q.src, pastry->id_of(q.dst));
+                         return path_latency(*net, path, proc_ptr);
+                       })
+            .stretch;
+      case ExperimentSpec::Overlay::kTapestry:
+        return stretch(*net, queries,
+                       [&](const QueryPair& q) {
+                         const auto path = tapestry->lookup_path(
+                             q.src, tapestry->id_of(q.dst));
+                         return path_latency(*net, path, proc_ptr);
+                       })
+            .stretch;
+      case ExperimentSpec::Overlay::kCan: {
+        return stretch(*net, queries,
+                       [&](const QueryPair& q) {
+                         const auto path = can->route_path(
+                             q.src, can->zone(q.dst).center());
+                         return path_latency(*net, path, proc_ptr);
+                       })
+            .stretch;
+      }
+    }
+    PROPSIM_CHECK(false && "unreachable");
+    return 0.0;
+  };
+
+  // --- Protocol engines on the simulated clock. ---
+  Simulator sim;
+  std::unique_ptr<PropEngine> prop;
+  std::unique_ptr<LtmEngine> ltm;
+  switch (spec.protocol) {
+    case ExperimentSpec::Protocol::kNone:
+      break;
+    case ExperimentSpec::Protocol::kPropG:
+    case ExperimentSpec::Protocol::kPropO:
+      prop = std::make_unique<PropEngine>(*net, sim, spec.prop,
+                                          spec.seed + 101);
+      break;
+    case ExperimentSpec::Protocol::kLtm:
+      ltm = std::make_unique<LtmEngine>(*net, sim, spec.ltm, spec.seed + 103);
+      break;
+  }
+
+  std::unique_ptr<ChurnProcess> churn;
+  if (has_churn) {
+    churn = std::make_unique<ChurnProcess>(*net, sim, prop.get(), gcfg,
+                                           spec.churn, spares,
+                                           spec.seed + 107);
+  }
+
+  // Optional event-driven lookup traffic experiencing the live overlay.
+  std::unique_ptr<LookupTrafficProcess> traffic;
+  if (spec.lookup_rate_per_s > 0.0) {
+    LookupTrafficParams tparams;
+    tparams.rate_per_s = spec.lookup_rate_per_s;
+    tparams.start_s = 0.0;
+    tparams.end_s = spec.horizon_s;
+    tparams.window_s = spec.sample_interval_s;
+    auto resolve = [&, spec](const QueryPair& q) -> double {
+      std::vector<double> proc;
+      const std::vector<double>* proc_ptr = nullptr;
+      if (delays) {
+        proc = delays->slot_delays(*net);
+        proc_ptr = &proc;
+      }
+      switch (spec.overlay) {
+        case ExperimentSpec::Overlay::kGnutella:
+          return net->flood_latencies(q.src, proc_ptr)[q.dst];
+        case ExperimentSpec::Overlay::kChord:
+          return path_latency(
+              *net, chord->lookup_path(q.src, chord->id_of(q.dst)),
+              proc_ptr);
+        case ExperimentSpec::Overlay::kPastry:
+          return path_latency(
+              *net, pastry->lookup_path(q.src, pastry->id_of(q.dst)),
+              proc_ptr);
+        case ExperimentSpec::Overlay::kTapestry:
+          return path_latency(
+              *net,
+              tapestry->lookup_path(q.src, tapestry->id_of(q.dst)),
+              proc_ptr);
+        case ExperimentSpec::Overlay::kCan:
+          return path_latency(
+              *net, can->route_path(q.src, can->zone(q.dst).center()),
+              proc_ptr);
+      }
+      PROPSIM_CHECK(false && "unreachable");
+      return 0.0;
+    };
+    traffic = std::make_unique<LookupTrafficProcess>(
+        *net, sim, tparams, resolve, spec.seed + 109);
+  }
+
+  ConvergenceSampler sampler(sim, result.metric_name, 0.0, spec.horizon_s,
+                             spec.sample_interval_s, metric);
+  if (traffic) traffic->start();
+  if (prop) prop->start();
+  if (ltm) ltm->start();
+  if (churn) churn->start();
+  sim.run_until(spec.horizon_s);
+
+  result.series = sampler.take_series();
+  result.initial_value = result.series.first_value();
+  result.final_value = result.series.last_value();
+  if (prop) {
+    result.exchanges = prop->stats().exchanges;
+    result.attempts = prop->stats().attempts;
+    result.commit_conflicts = prop->stats().commit_conflicts;
+  }
+  if (traffic) {
+    result.observed = traffic->observed();
+    result.lookups_issued = traffic->issued();
+    result.lookups_unreachable = traffic->unreachable();
+    if (!traffic->latencies().empty()) {
+      result.observed_p50_ms = traffic->latencies().median();
+      result.observed_p95_ms = traffic->latencies().quantile(0.95);
+    }
+  }
+  if (ltm) result.ltm_rounds = ltm->rounds();
+  result.control_messages = net->traffic().control_total();
+  if (churn) {
+    result.churn_joins = churn->joins();
+    result.churn_leaves = churn->leaves();
+    result.churn_failures = churn->failures();
+  }
+  result.connected = net->graph().active_subgraph_connected();
+  result.final_population = net->size();
+  return result;
+}
+
+}  // namespace propsim

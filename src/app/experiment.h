@@ -1,0 +1,104 @@
+// Config-driven experiment runner — the engine behind tools/propsim_cli.
+//
+// An ExperimentSpec selects a physical topology, an overlay substrate, an
+// optimization protocol, an optional heterogeneity/churn workload and a
+// measurement schedule; run_experiment assembles the pieces and returns
+// the paper-style metric series plus protocol counters.
+//
+// Config keys (see docs in README):
+//   topology   = ts-large | ts-small | waxman        (default ts-large)
+//   overlay    = gnutella | chord | pastry | tapestry | can
+//   protocol   = none | prop-g | prop-o | ltm        (default prop-g)
+//   nodes      = <int>                               (default 1000)
+//   seed       = <int>                               (default 20070901)
+//   horizon    = <seconds>                           (default 3600)
+//   sample_interval = <seconds>                      (default horizon/15)
+//   queries    = <int>                               (default 10000)
+//   nhops, m, min_var, init_timer, max_init_trial    (PROP parameters)
+//   random_target = true|false
+//   selection  = greedy | random                     (PROP-O transfer sets)
+//   model_message_delays = true|false                (delayed commits)
+//   lookup_rate = <per second>   (event-driven lookup traffic; 0 = off)
+//   heterogeneity = none | bimodal | bimodal-degree  (default none)
+//   fast_fraction, fast_delay_ms, slow_delay_ms
+//   fraction_fast_dest = <0..1>   (lookup destination bias; -1 uniform)
+//   churn_join_rate, churn_leave_rate, churn_fail_rate = <per second>
+//   churn_start, churn_end = <seconds>
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "baselines/ltm.h"
+#include "common/config.h"
+#include "common/timeseries.h"
+#include "core/params.h"
+#include "workload/churn.h"
+#include "workload/heterogeneity.h"
+
+namespace propsim {
+
+struct ExperimentSpec {
+  enum class Topology { kTsLarge, kTsSmall, kWaxman };
+  enum class Overlay { kGnutella, kChord, kPastry, kTapestry, kCan };
+  enum class Protocol { kNone, kPropG, kPropO, kLtm };
+
+  Topology topology = Topology::kTsLarge;
+  Overlay overlay = Overlay::kGnutella;
+  Protocol protocol = Protocol::kPropG;
+
+  std::size_t nodes = 1000;
+  std::uint64_t seed = 20070901;
+  double horizon_s = 3600.0;
+  double sample_interval_s = 240.0;
+  std::size_t queries = 10000;
+
+  PropParams prop;
+  LtmParams ltm;
+
+  enum class Heterogeneity { kNone, kBimodal, kBimodalByDegree };
+  Heterogeneity heterogeneity = Heterogeneity::kNone;
+  BimodalConfig bimodal;
+  /// Destination bias toward fast nodes; negative = uniform workload.
+  double fraction_fast_dest = -1.0;
+
+  ChurnParams churn;  // all-zero rates = no churn
+
+  /// Event-driven lookup arrivals per second (0 = snapshot metric only).
+  double lookup_rate_per_s = 0.0;
+
+  /// Parses and validates; check-fails with a message on bad combos
+  /// (e.g. LTM or churn on a structured overlay).
+  static ExperimentSpec from_config(const Config& config);
+};
+
+struct ExperimentResult {
+  /// "lookup_ms" for unstructured overlays, "stretch" for DHTs.
+  std::string metric_name;
+  TimeSeries series;
+  double initial_value = 0.0;
+  double final_value = 0.0;
+
+  std::uint64_t exchanges = 0;
+  std::uint64_t attempts = 0;
+  std::uint64_t ltm_rounds = 0;
+  std::uint64_t control_messages = 0;
+  std::uint64_t churn_joins = 0;
+  std::uint64_t churn_leaves = 0;
+  std::uint64_t churn_failures = 0;
+  std::uint64_t commit_conflicts = 0;
+  bool connected = false;
+  std::size_t final_population = 0;
+
+  /// Event-driven traffic results (lookup_rate > 0 only): windowed mean
+  /// of what lookups actually experienced, plus distribution points.
+  TimeSeries observed;
+  std::uint64_t lookups_issued = 0;
+  std::uint64_t lookups_unreachable = 0;
+  double observed_p50_ms = 0.0;
+  double observed_p95_ms = 0.0;
+};
+
+ExperimentResult run_experiment(const ExperimentSpec& spec);
+
+}  // namespace propsim

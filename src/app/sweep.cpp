@@ -1,0 +1,61 @@
+#include "app/sweep.h"
+
+#include "common/check.h"
+
+namespace propsim {
+
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (;;) {
+    const auto comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+SweepAxis parse_sweep_axis(const std::string& arg) {
+  PROPSIM_CHECK(arg.rfind("sweep:", 0) == 0);
+  const std::string body = arg.substr(6);
+  const auto eq = body.find('=');
+  PROPSIM_CHECK(eq != std::string::npos && eq > 0);
+  SweepAxis axis{body.substr(0, eq), split_commas(body.substr(eq + 1))};
+  PROPSIM_CHECK(!axis.values.empty());
+  for (const std::string& v : axis.values) PROPSIM_CHECK(!v.empty());
+  return axis;
+}
+
+namespace {
+
+void expand_recursive(const std::vector<SweepAxis>& axes, std::size_t axis,
+                      SweepCombo current, std::vector<SweepCombo>& out) {
+  if (axis == axes.size()) {
+    if (current.label.empty()) current.label = "(base)";
+    out.push_back(std::move(current));
+    return;
+  }
+  for (const std::string& value : axes[axis].values) {
+    SweepCombo next = current;
+    next.config.set(axes[axis].key, value);
+    if (!next.label.empty()) next.label += " ";
+    next.label += axes[axis].key + "=" + value;
+    expand_recursive(axes, axis + 1, std::move(next), out);
+  }
+}
+
+}  // namespace
+
+std::vector<SweepCombo> expand_sweep(const Config& base,
+                                     const std::vector<SweepAxis>& axes) {
+  std::vector<SweepCombo> out;
+  SweepCombo seed;
+  seed.config = base;
+  expand_recursive(axes, 0, std::move(seed), out);
+  return out;
+}
+
+}  // namespace propsim

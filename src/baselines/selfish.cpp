@@ -1,0 +1,50 @@
+#include "baselines/selfish.h"
+
+#include <algorithm>
+
+namespace propsim {
+
+SelfishOutcome selfish_step(OverlayNetwork& net, SlotId u,
+                            const SelfishParams& params, Rng& rng) {
+  SelfishOutcome outcome;
+  LogicalGraph& g = net.graph();
+  if (!g.is_active(u) || g.degree(u) == 0) return outcome;
+
+  const auto neighbors = g.neighbors(u);
+  const SlotId first =
+      neighbors[static_cast<std::size_t>(rng.uniform(neighbors.size()))];
+  const auto walk = net.random_walk(u, first, params.nhops, rng);
+  net.traffic().count(net.placement().host_of(u), MessageKind::kWalk,
+                      params.nhops);
+  if (!walk.has_value()) return outcome;
+  const SlotId candidate = walk->back();
+  if (g.has_edge(u, candidate)) return outcome;
+
+  // Farthest current neighbor that can afford to lose a link; the walk
+  // path's first hop is spared so u keeps its route to the candidate.
+  SlotId farthest = kInvalidSlot;
+  double farthest_latency = -1.0;
+  for (const SlotId i : neighbors) {
+    if (g.degree(i) <= params.min_degree) continue;
+    if (std::find(walk->begin(), walk->end(), i) != walk->end()) continue;
+    const double lat = net.slot_latency(u, i);
+    if (lat > farthest_latency) {
+      farthest = i;
+      farthest_latency = lat;
+    }
+  }
+  if (farthest == kInvalidSlot) return outcome;
+
+  const double candidate_latency = net.slot_latency(u, candidate);
+  net.traffic().count(net.placement().host_of(u), MessageKind::kProbe);
+  if (candidate_latency >= farthest_latency) return outcome;
+
+  g.remove_edge(u, farthest);
+  g.add_edge(u, candidate);
+  net.traffic().count(net.placement().host_of(u), MessageKind::kExchangeCtrl);
+  outcome.rewired = true;
+  outcome.gain = farthest_latency - candidate_latency;
+  return outcome;
+}
+
+}  // namespace propsim

@@ -1,0 +1,75 @@
+#include "baselines/topo_can.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "baselines/pis.h"
+#include "common/check.h"
+
+namespace propsim {
+namespace {
+
+/// Spreads the low 32 bits of x so one zero bit separates every data
+/// bit (standard Morton dilation).
+std::uint64_t dilate32(std::uint64_t x) {
+  x &= 0xFFFFFFFFULL;
+  x = (x | (x << 16)) & 0x0000FFFF0000FFFFULL;
+  x = (x | (x << 8)) & 0x00FF00FF00FF00FFULL;
+  x = (x | (x << 4)) & 0x0F0F0F0F0F0F0F0FULL;
+  x = (x | (x << 2)) & 0x3333333333333333ULL;
+  x = (x | (x << 1)) & 0x5555555555555555ULL;
+  return x;
+}
+
+}  // namespace
+
+std::uint64_t morton_key(const CanPoint& p) {
+  static_assert(kCanDims == 2, "morton_key is specialized for 2-d CAN");
+  return dilate32(p[0]) | (dilate32(p[1]) << 1);
+}
+
+std::vector<NodeId> topo_aware_can_assignment(
+    const CanSpace& space, std::span<const NodeId> hosts,
+    std::span<const NodeId> landmarks, const LatencyOracle& oracle,
+    Rng& rng) {
+  PROPSIM_CHECK(hosts.size() == space.size());
+  PROPSIM_CHECK(!landmarks.empty());
+  const std::size_t n = hosts.size();
+
+  // Zones in Morton order of their centers.
+  std::vector<SlotId> zone_order(n);
+  std::iota(zone_order.begin(), zone_order.end(), SlotId{0});
+  std::sort(zone_order.begin(), zone_order.end(), [&](SlotId a, SlotId b) {
+    const std::uint64_t ka = morton_key(space.zone(a).center());
+    const std::uint64_t kb = morton_key(space.zone(b).center());
+    if (ka != kb) return ka < kb;
+    return a < b;
+  });
+
+  // Hosts in landmark-bin order (ties shuffled so equal bins spread).
+  struct Keyed {
+    std::vector<std::uint32_t> ordering;
+    std::uint64_t tiebreak;
+    NodeId host;
+  };
+  std::vector<Keyed> keyed;
+  keyed.reserve(n);
+  for (const NodeId h : hosts) {
+    keyed.push_back(Keyed{landmark_ordering(h, landmarks, oracle),
+                          rng.next(), h});
+  }
+  std::sort(keyed.begin(), keyed.end(), [](const Keyed& a, const Keyed& b) {
+    if (a.ordering != b.ordering) return a.ordering < b.ordering;
+    return a.tiebreak < b.tiebreak;
+  });
+
+  // Walk both orders in lockstep: the i-th bin-ordered host serves the
+  // i-th curve-ordered zone.
+  std::vector<NodeId> by_slot(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    by_slot[zone_order[i]] = keyed[i].host;
+  }
+  return by_slot;
+}
+
+}  // namespace propsim

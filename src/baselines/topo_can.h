@@ -1,0 +1,34 @@
+// Topologically-aware CAN (Ratnasamy et al., INFOCOM 2002) — the PIS
+// family member for CAN that the paper's related-work section singles
+// out ("ensures that nodes which are close in the network topology are
+// close in the node ID space ... only suitable for systems like CAN").
+//
+// Hosts are sorted by their landmark-ordering bin (physically close
+// hosts share bins) and zones are sorted along a Z-order (Morton)
+// space-filling curve of their centers (geometrically close zones are
+// adjacent on the curve); matching the two orders hands nearby hosts
+// nearby zones.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "can/can_space.h"
+#include "common/rng.h"
+#include "topology/latency_oracle.h"
+
+namespace propsim {
+
+/// Z-order (Morton) key of a CAN point: interleaves the top 32 bits of
+/// each coordinate. Points close in the plane get close keys.
+std::uint64_t morton_key(const CanPoint& p);
+
+/// Permutes `hosts` so that index i should be bound to zone/slot i of
+/// `space` for a topology-aware assignment: hosts ordered by landmark
+/// bin, zones ordered by the Morton key of their centers.
+std::vector<NodeId> topo_aware_can_assignment(
+    const CanSpace& space, std::span<const NodeId> hosts,
+    std::span<const NodeId> landmarks, const LatencyOracle& oracle,
+    Rng& rng);
+
+}  // namespace propsim

@@ -1,0 +1,283 @@
+#include "chord/dynamic_chord.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace propsim {
+
+DynamicChord::DynamicChord(const DynamicChordConfig& config)
+    : config_(config) {
+  PROPSIM_CHECK(config_.successor_list >= 1);
+  PROPSIM_CHECK(config_.finger_bits >= 1 && config_.finger_bits <= 64);
+}
+
+SlotId DynamicChord::new_slot(ChordId id) {
+  for (std::size_t s = 0; s < ids_.size(); ++s) {
+    PROPSIM_CHECK(!active_[s] || ids_[s] != id);
+  }
+  ids_.push_back(id);
+  active_.push_back(true);
+  pred_.push_back(kInvalidSlot);
+  succ_.emplace_back();
+  finger_.emplace_back(config_.finger_bits, kInvalidSlot);
+  next_finger_.push_back(0);
+  ++active_count_;
+  return static_cast<SlotId>(ids_.size() - 1);
+}
+
+SlotId DynamicChord::bootstrap(ChordId id) {
+  PROPSIM_CHECK(active_count_ == 0);
+  const SlotId s = new_slot(id);
+  succ_[s].assign(1, s);  // alone: own successor
+  pred_[s] = s;
+  return s;
+}
+
+SlotId DynamicChord::join(ChordId id, SlotId gateway) {
+  PROPSIM_CHECK(is_active(gateway));
+  const LookupResult res = lookup(gateway, id);
+  PROPSIM_CHECK(res.ok);
+  const SlotId successor_slot = res.path.back();
+  const SlotId s = new_slot(id);
+  succ_[s].assign(1, successor_slot);
+  pred_[s] = kInvalidSlot;
+  refresh_successor_list(s);
+  // The rest (successor's predecessor pointer, neighbors' lists, the
+  // fingers) is repaired by subsequent stabilization rounds, exactly as
+  // in the protocol.
+  return s;
+}
+
+void DynamicChord::leave(SlotId s) {
+  PROPSIM_CHECK(is_active(s));
+  // Graceful: point the predecessor at our successor and vice versa.
+  const SlotId succ0 = first_live_successor(s);
+  const SlotId p = pred_[s];
+  if (p != kInvalidSlot && p != s && active_[p]) {
+    auto& plist = succ_[p];
+    std::replace(plist.begin(), plist.end(), s, succ0);
+  }
+  if (succ0 != s && pred_[succ0] == s) {
+    pred_[succ0] = (p != kInvalidSlot && p != s && active_[p])
+                       ? p
+                       : kInvalidSlot;
+  }
+  active_[s] = false;
+  --active_count_;
+}
+
+void DynamicChord::fail(SlotId s) {
+  PROPSIM_CHECK(is_active(s));
+  active_[s] = false;  // everyone else's pointers silently go stale
+  --active_count_;
+}
+
+SlotId DynamicChord::first_live_successor(SlotId s) const {
+  for (const SlotId t : succ_[s]) {
+    if (t < active_.size() && active_[t]) return t;
+  }
+  // Total successor-list wipeout (more simultaneous failures than the
+  // list covers): fall back to self; stabilization cannot repair this
+  // node without external help, mirroring real Chord.
+  return s;
+}
+
+SlotId DynamicChord::successor(SlotId s) const {
+  PROPSIM_CHECK(is_active(s));
+  return first_live_successor(s);
+}
+
+std::optional<SlotId> DynamicChord::predecessor(SlotId s) const {
+  PROPSIM_CHECK(is_active(s));
+  const SlotId p = pred_[s];
+  if (p == kInvalidSlot || !active_[p]) return std::nullopt;
+  return p;
+}
+
+void DynamicChord::refresh_successor_list(SlotId s) {
+  const SlotId succ0 = first_live_successor(s);
+  std::vector<SlotId> list{succ0};
+  // Extend with the successor's list (the remote read every stabilize
+  // round performs).
+  if (succ0 != s) {
+    for (const SlotId t : succ_[succ0]) {
+      if (list.size() >= config_.successor_list) break;
+      if (t == s) break;  // wrapped all the way around
+      if (active_[t] && std::find(list.begin(), list.end(), t) == list.end()) {
+        list.push_back(t);
+      }
+    }
+  }
+  succ_[s] = std::move(list);
+}
+
+void DynamicChord::notify(SlotId target, SlotId candidate) {
+  if (target == candidate) return;
+  const SlotId p = pred_[target];
+  if (p == kInvalidSlot || !active_[p] ||
+      in_interval_oo(ids_[p], ids_[target], ids_[candidate])) {
+    pred_[target] = candidate;
+  }
+}
+
+void DynamicChord::stabilize(SlotId s) {
+  PROPSIM_CHECK(is_active(s));
+  SlotId succ0 = first_live_successor(s);
+  if (succ0 == s) {
+    // Self-successor view: either a genuine singleton, or the node that
+    // bootstrapped the ring before anyone notified it. In the latter
+    // case the predecessor (set by a joiner's notify) re-closes the
+    // ring — without this step a two-node ring can never form.
+    const SlotId p = pred_[s];
+    if (p != kInvalidSlot && p != s && p < active_.size() && active_[p]) {
+      succ0 = p;
+    } else {
+      succ_[s].assign(1, s);
+      return;
+    }
+  }
+  // Adopt succ0's predecessor when it sits between us and succ0.
+  const SlotId x = pred_[succ0];
+  if (x != kInvalidSlot && x < active_.size() && active_[x] && x != s &&
+      in_interval_oo(ids_[s], ids_[succ0], ids_[x])) {
+    succ0 = x;
+  }
+  succ_[s].erase(succ_[s].begin(),
+                 std::find(succ_[s].begin(), succ_[s].end(), succ0));
+  if (succ_[s].empty() || succ_[s].front() != succ0) {
+    succ_[s].insert(succ_[s].begin(), succ0);
+  }
+  notify(succ0, s);
+  refresh_successor_list(s);
+}
+
+void DynamicChord::fix_finger(SlotId s) {
+  PROPSIM_CHECK(is_active(s));
+  const std::size_t k = next_finger_[s];
+  next_finger_[s] = (k + 1) % config_.finger_bits;
+  const ChordId point = ids_[s] + (ChordId{1} << k);
+  const LookupResult res = lookup(s, point);
+  if (res.ok) finger_[s][k] = res.path.back();
+}
+
+void DynamicChord::stabilize_all(std::size_t rounds) {
+  for (std::size_t r = 0; r < rounds; ++r) {
+    for (SlotId s = 0; s < ids_.size(); ++s) {
+      if (!active_[s]) continue;
+      stabilize(s);
+      for (std::size_t k = 0; k < config_.finger_bits; ++k) {
+        fix_finger(s);
+      }
+    }
+  }
+}
+
+SlotId DynamicChord::closest_preceding(SlotId s, ChordId key) const {
+  SlotId best = kInvalidSlot;
+  ChordId best_dist = 0;
+  auto consider = [&](SlotId cand) {
+    if (cand == kInvalidSlot || cand == s) return;
+    if (cand >= active_.size() || !active_[cand]) return;  // stale entry
+    if (!in_interval_oo(ids_[s], key, ids_[cand])) return;
+    const ChordId dist = clockwise_distance(ids_[cand], key);
+    if (best == kInvalidSlot || dist < best_dist) {
+      best = cand;
+      best_dist = dist;
+    }
+  };
+  for (const SlotId f : finger_[s]) consider(f);
+  for (const SlotId t : succ_[s]) consider(t);
+  return best;
+}
+
+DynamicChord::LookupResult DynamicChord::lookup(SlotId source,
+                                                ChordId key) const {
+  PROPSIM_CHECK(is_active(source));
+  LookupResult res;
+  res.path.push_back(source);
+  SlotId here = source;
+  for (std::size_t guard = 0; guard < 512; ++guard) {
+    const SlotId succ0 = first_live_successor(here);
+    if (succ0 == here) {
+      // Alone in its own view (fresh ring or wiped-out successor list):
+      // the node is the owner of everything it can see.
+      res.ok = true;
+      return res;
+    }
+    if (in_interval_oc(ids_[here], ids_[succ0], key)) {
+      res.path.push_back(succ0);
+      res.ok = true;
+      return res;
+    }
+    const SlotId next = closest_preceding(here, key);
+    if (next == kInvalidSlot) {
+      // No live preceding entry: step to the successor; progress is
+      // slower (O(n) worst case) but correct.
+      res.path.push_back(succ0);
+      here = succ0;
+      continue;
+    }
+    res.path.push_back(next);
+    here = next;
+  }
+  res.ok = false;  // churn storm: give up, caller retries later
+  return res;
+}
+
+SlotId DynamicChord::true_owner(ChordId key) const {
+  PROPSIM_CHECK(active_count_ > 0);
+  SlotId best = kInvalidSlot;
+  ChordId best_dist = 0;
+  for (SlotId s = 0; s < ids_.size(); ++s) {
+    if (!active_[s]) continue;
+    const ChordId dist = clockwise_distance(key, ids_[s]);
+    if (best == kInvalidSlot || dist < best_dist) {
+      best = s;
+      best_dist = dist;
+    }
+  }
+  return best;
+}
+
+LogicalGraph DynamicChord::to_logical_graph() const {
+  LogicalGraph g(ids_.size());
+  for (SlotId s = 0; s < ids_.size(); ++s) {
+    if (!active_[s]) g.deactivate_slot(s);
+  }
+  auto link = [&](SlotId a, SlotId b) {
+    if (b == kInvalidSlot || a == b) return;
+    if (b >= active_.size() || !active_[b] || !active_[a]) return;
+    if (!g.has_edge(a, b)) g.add_edge(a, b);
+  };
+  for (SlotId s = 0; s < ids_.size(); ++s) {
+    if (!active_[s]) continue;
+    for (const SlotId t : succ_[s]) link(s, t);
+    for (const SlotId f : finger_[s]) link(s, f);
+    if (pred_[s] != kInvalidSlot) link(s, pred_[s]);
+  }
+  return g;
+}
+
+bool DynamicChord::ring_consistent() const {
+  for (SlotId s = 0; s < ids_.size(); ++s) {
+    if (!active_[s]) continue;
+    // True ring successor: the active slot with the smallest clockwise
+    // distance strictly after s.
+    SlotId expected = kInvalidSlot;
+    ChordId best = 0;
+    for (SlotId t = 0; t < ids_.size(); ++t) {
+      if (!active_[t] || t == s) continue;
+      const ChordId d = clockwise_distance(ids_[s], ids_[t]);
+      if (expected == kInvalidSlot || d < best) {
+        expected = t;
+        best = d;
+      }
+    }
+    if (expected == kInvalidSlot) return active_count_ == 1;
+    if (first_live_successor(s) != expected) return false;
+  }
+  return true;
+}
+
+}  // namespace propsim

@@ -1,0 +1,109 @@
+// Dynamic Chord: per-node routing state with join / leave / failure and
+// the stabilization protocol (Stoica et al., SIGCOMM 2001).
+//
+// ChordRing (chord_ring.h) models a converged ring with globally
+// consistent tables — ideal for the paper's steady-state measurements.
+// This class models the *protocol*: every node owns only its local view
+// (successor list, predecessor, fingers), new peers join through a
+// bootstrap lookup, departures and crashes leave stale entries behind,
+// and periodic stabilize/fix-finger rounds repair the ring. The paper's
+// peer-exchange leans on exactly these mechanisms ("notifications can
+// still be implemented by using the underlying mechanisms just as what
+// happens when peers arrive or depart").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "chord/id_space.h"
+#include "common/rng.h"
+#include "overlay/logical_graph.h"
+
+namespace propsim {
+
+struct DynamicChordConfig {
+  std::size_t successor_list = 4;
+  std::size_t finger_bits = 64;
+};
+
+class DynamicChord {
+ public:
+  explicit DynamicChord(const DynamicChordConfig& config);
+
+  std::size_t active_count() const { return active_count_; }
+  std::size_t slot_count() const { return ids_.size(); }
+  bool is_active(SlotId s) const { return s < active_.size() && active_[s]; }
+  ChordId id_of(SlotId s) const { return ids_[s]; }
+
+  /// Creates the first node of a fresh ring.
+  SlotId bootstrap(ChordId id);
+
+  /// Joins a new node through `gateway` (any active node): one lookup
+  /// finds the successor, the rest is repaired by stabilization.
+  SlotId join(ChordId id, SlotId gateway);
+
+  /// Graceful departure: hands its position to the successor and tells
+  /// the predecessor, then goes inactive.
+  void leave(SlotId s);
+
+  /// Crash: the node vanishes; neighbors discover the failure lazily
+  /// when stabilize probes dead entries.
+  void fail(SlotId s);
+
+  /// One stabilization round for node s: repair the successor (skipping
+  /// dead list entries), adopt a closer predecessor-of-successor, notify,
+  /// and refresh the successor list.
+  void stabilize(SlotId s);
+
+  /// Fixes one finger of s (round-robin over finger levels).
+  void fix_finger(SlotId s);
+
+  /// Runs `rounds` full sweeps of stabilize + fix all fingers for every
+  /// active node (deterministic order). Convenience for tests/benches.
+  void stabilize_all(std::size_t rounds);
+
+  /// Local-view iterative lookup. Returns the visited path; `ok` is
+  /// false when routing hit a dead end (possible mid-churn before
+  /// stabilization). On success path.back() owns the key.
+  struct LookupResult {
+    std::vector<SlotId> path;
+    bool ok = false;
+  };
+  LookupResult lookup(SlotId source, ChordId key) const;
+
+  /// Ground truth owner among active nodes (for verification).
+  SlotId true_owner(ChordId key) const;
+
+  SlotId successor(SlotId s) const;
+  std::optional<SlotId> predecessor(SlotId s) const;
+  const std::vector<SlotId>& successor_list(SlotId s) const {
+    return succ_[s];
+  }
+
+  /// Current routing links as an undirected logical graph over active
+  /// slots.
+  LogicalGraph to_logical_graph() const;
+
+  /// Invariant audit: every active node's first live successor is the
+  /// true ring successor. True only after enough stabilization.
+  bool ring_consistent() const;
+
+ private:
+  SlotId new_slot(ChordId id);
+  SlotId first_live_successor(SlotId s) const;
+  SlotId closest_preceding(SlotId s, ChordId key) const;
+  void refresh_successor_list(SlotId s);
+  void notify(SlotId target, SlotId candidate);
+
+  DynamicChordConfig config_;
+  std::vector<ChordId> ids_;
+  std::vector<bool> active_;
+  std::vector<SlotId> pred_;                 // kInvalidSlot when unknown
+  std::vector<std::vector<SlotId>> succ_;    // successor lists
+  std::vector<std::vector<SlotId>> finger_;  // finger_bits entries
+  std::vector<std::size_t> next_finger_;     // round-robin fix index
+  std::size_t active_count_ = 0;
+};
+
+}  // namespace propsim

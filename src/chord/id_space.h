@@ -1,0 +1,29 @@
+// Chord identifier-space arithmetic (64-bit ring, modular intervals).
+#pragma once
+
+#include <cstdint>
+
+namespace propsim {
+
+using ChordId = std::uint64_t;
+
+/// x in (a, b] on the ring. When a == b the interval is the full ring.
+constexpr bool in_interval_oc(ChordId a, ChordId b, ChordId x) {
+  if (a == b) return true;
+  if (a < b) return x > a && x <= b;
+  return x > a || x <= b;
+}
+
+/// x in (a, b) on the ring. When a == b the interval is the ring minus a.
+constexpr bool in_interval_oo(ChordId a, ChordId b, ChordId x) {
+  if (a == b) return x != a;
+  if (a < b) return x > a && x < b;
+  return x > a || x < b;
+}
+
+/// Clockwise distance from a to b (how far forward b lies from a).
+constexpr ChordId clockwise_distance(ChordId a, ChordId b) {
+  return b - a;  // modular arithmetic wraps exactly as required
+}
+
+}  // namespace propsim

@@ -1,0 +1,34 @@
+// Lightweight invariant checking for propsim.
+//
+// PROPSIM_CHECK is always on (simulation correctness beats a few ns);
+// PROPSIM_DCHECK compiles away in release builds and is meant for hot loops.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace propsim {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line) {
+  std::fprintf(stderr, "propsim: check failed: %s at %s:%d\n", expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace propsim
+
+#define PROPSIM_CHECK(expr)                                \
+  do {                                                     \
+    if (!(expr)) {                                         \
+      ::propsim::check_failed(#expr, __FILE__, __LINE__);  \
+    }                                                      \
+  } while (false)
+
+#ifdef NDEBUG
+#define PROPSIM_DCHECK(expr) \
+  do {                       \
+  } while (false)
+#else
+#define PROPSIM_DCHECK(expr) PROPSIM_CHECK(expr)
+#endif

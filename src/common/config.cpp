@@ -1,0 +1,111 @@
+#include "common/config.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace propsim {
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return {};
+  const auto last = s.find_last_not_of(" \t\r");
+  return s.substr(first, last - first + 1);
+}
+
+}  // namespace
+
+Config Config::parse(const std::string& text) {
+  Config config;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const std::string stripped = trim(line);
+    if (stripped.empty()) continue;
+    const auto eq = stripped.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "config: line %zu has no '=': %s\n", line_no,
+                   stripped.c_str());
+      PROPSIM_CHECK(false && "malformed config line");
+    }
+    const std::string key = trim(stripped.substr(0, eq));
+    const std::string value = trim(stripped.substr(eq + 1));
+    PROPSIM_CHECK(!key.empty());
+    config.values_[key] = value;
+  }
+  return config;
+}
+
+Config Config::load_file(const std::string& path) {
+  std::ifstream in(path);
+  PROPSIM_CHECK(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str());
+}
+
+bool Config::has(const std::string& key) const {
+  return values_.contains(key);
+}
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::string Config::require_string(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    std::fprintf(stderr, "config: missing required key '%s'\n", key.c_str());
+    PROPSIM_CHECK(false && "missing required config key");
+  }
+  return it->second;
+}
+
+std::int64_t Config::get_int(const std::string& key,
+                             std::int64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  PROPSIM_CHECK(end != nullptr && *end == '\0');
+  return v;
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  PROPSIM_CHECK(end != nullptr && *end == '\0');
+  return v;
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::string v = it->second;
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  PROPSIM_CHECK(false && "config value is not a boolean");
+  return fallback;
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+}  // namespace propsim

@@ -1,0 +1,45 @@
+// Minimal key = value configuration format for the experiment driver.
+//
+//   # comment
+//   overlay  = chord
+//   nodes    = 1000
+//   horizon  = 3600
+//
+// Keys are case-sensitive; later assignments override earlier ones.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace propsim {
+
+class Config {
+ public:
+  /// Parses the text; throws via PROPSIM_CHECK on malformed lines.
+  static Config parse(const std::string& text);
+  /// Reads and parses a file; check-fails if unreadable.
+  static Config load_file(const std::string& path);
+
+  bool has(const std::string& key) const;
+  std::size_t size() const { return values_.size(); }
+
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Required variants: check-fail with the key name when missing.
+  std::string require_string(const std::string& key) const;
+
+  void set(const std::string& key, const std::string& value);
+
+  const std::map<std::string, std::string>& values() const { return values_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace propsim

@@ -1,0 +1,34 @@
+// Hexadecimal-digit views of 64-bit identifiers, shared by the
+// prefix-routing DHTs (Pastry, Tapestry): 16 digits, base 16, digit 0
+// is the most significant.
+#pragma once
+
+#include <cstdint>
+
+namespace propsim {
+
+constexpr std::size_t kHexDigits = 16;
+constexpr std::size_t kHexBase = 16;
+
+/// Digit d (0 = most significant) of an id.
+constexpr std::uint32_t hex_digit(std::uint64_t id, std::size_t d) {
+  return static_cast<std::uint32_t>((id >> (4 * (kHexDigits - 1 - d))) & 0xF);
+}
+
+/// Length of the common hex-digit prefix of two ids (0..16).
+constexpr std::size_t hex_shared_prefix(std::uint64_t a, std::uint64_t b) {
+  std::size_t len = 0;
+  while (len < kHexDigits && hex_digit(a, len) == hex_digit(b, len)) {
+    ++len;
+  }
+  return len;
+}
+
+/// Circular distance on the 64-bit id ring (min of both directions).
+constexpr std::uint64_t id_ring_distance(std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t d = a - b;
+  const std::uint64_t e = b - a;
+  return d < e ? d : e;
+}
+
+}  // namespace propsim

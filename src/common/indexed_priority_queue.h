@@ -1,0 +1,149 @@
+// Addressable binary-heap priority queue over dense integer keys.
+//
+// Used by Dijkstra (decrease-key) and by the PROP neighbour queue, where an
+// entry's priority changes while it is enqueued. Keys are indices in
+// [0, capacity); the queue stores at most one entry per key.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+
+namespace propsim {
+
+/// Min-heap by default; pass a different Compare for max-heap behaviour.
+template <typename Priority, typename Compare = std::less<Priority>>
+class IndexedPriorityQueue {
+ public:
+  explicit IndexedPriorityQueue(std::size_t capacity, Compare cmp = Compare())
+      : cmp_(cmp), position_(capacity, kAbsent) {}
+
+  std::size_t size() const { return heap_.size(); }
+  bool empty() const { return heap_.empty(); }
+  std::size_t capacity() const { return position_.size(); }
+
+  bool contains(std::size_t key) const {
+    PROPSIM_DCHECK(key < position_.size());
+    return position_[key] != kAbsent;
+  }
+
+  const Priority& priority_of(std::size_t key) const {
+    PROPSIM_CHECK(contains(key));
+    return heap_[position_[key]].priority;
+  }
+
+  /// Inserts a new key or updates the priority of an existing one.
+  void push_or_update(std::size_t key, Priority priority) {
+    PROPSIM_CHECK(key < position_.size());
+    if (contains(key)) {
+      const std::size_t idx = position_[key];
+      const bool improves = cmp_(priority, heap_[idx].priority);
+      heap_[idx].priority = std::move(priority);
+      if (improves) {
+        sift_up(idx);
+      } else {
+        sift_down(idx);
+      }
+    } else {
+      heap_.push_back(Entry{key, std::move(priority)});
+      position_[key] = heap_.size() - 1;
+      sift_up(heap_.size() - 1);
+    }
+  }
+
+  /// The key with the smallest priority (under Compare).
+  std::size_t top_key() const {
+    PROPSIM_CHECK(!heap_.empty());
+    return heap_.front().key;
+  }
+
+  const Priority& top_priority() const {
+    PROPSIM_CHECK(!heap_.empty());
+    return heap_.front().priority;
+  }
+
+  /// Removes and returns the top key.
+  std::size_t pop() {
+    PROPSIM_CHECK(!heap_.empty());
+    const std::size_t key = heap_.front().key;
+    remove_at(0);
+    return key;
+  }
+
+  /// Removes an arbitrary key; returns false if it was not enqueued.
+  bool erase(std::size_t key) {
+    PROPSIM_DCHECK(key < position_.size());
+    if (!contains(key)) return false;
+    remove_at(position_[key]);
+    return true;
+  }
+
+  void clear() {
+    for (const Entry& e : heap_) position_[e.key] = kAbsent;
+    heap_.clear();
+  }
+
+ private:
+  struct Entry {
+    std::size_t key;
+    Priority priority;
+  };
+
+  static constexpr std::size_t kAbsent = static_cast<std::size_t>(-1);
+
+  void remove_at(std::size_t idx) {
+    position_[heap_[idx].key] = kAbsent;
+    if (idx + 1 != heap_.size()) {
+      heap_[idx] = std::move(heap_.back());
+      position_[heap_[idx].key] = idx;
+      heap_.pop_back();
+      // The moved element may need to travel either direction.
+      sift_up(idx);
+      sift_down(idx);
+    } else {
+      heap_.pop_back();
+    }
+  }
+
+  void sift_up(std::size_t idx) {
+    while (idx > 0) {
+      const std::size_t parent = (idx - 1) / 2;
+      if (!cmp_(heap_[idx].priority, heap_[parent].priority)) break;
+      swap_entries(idx, parent);
+      idx = parent;
+    }
+  }
+
+  void sift_down(std::size_t idx) {
+    for (;;) {
+      const std::size_t left = 2 * idx + 1;
+      const std::size_t right = 2 * idx + 2;
+      std::size_t best = idx;
+      if (left < heap_.size() &&
+          cmp_(heap_[left].priority, heap_[best].priority)) {
+        best = left;
+      }
+      if (right < heap_.size() &&
+          cmp_(heap_[right].priority, heap_[best].priority)) {
+        best = right;
+      }
+      if (best == idx) break;
+      swap_entries(idx, best);
+      idx = best;
+    }
+  }
+
+  void swap_entries(std::size_t a, std::size_t b) {
+    using std::swap;
+    swap(heap_[a], heap_[b]);
+    position_[heap_[a].key] = a;
+    position_[heap_[b].key] = b;
+  }
+
+  Compare cmp_;
+  std::vector<Entry> heap_;
+  std::vector<std::size_t> position_;
+};
+
+}  // namespace propsim

@@ -1,0 +1,154 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace propsim {
+
+Json Json::array() {
+  Json j;
+  j.value_ = Array{};
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.value_ = Object{};
+  return j;
+}
+
+bool Json::is_array() const {
+  return std::holds_alternative<Array>(value_);
+}
+
+bool Json::is_object() const {
+  return std::holds_alternative<Object>(value_);
+}
+
+Json& Json::push_back(Json v) {
+  PROPSIM_CHECK(is_array());
+  std::get<Array>(value_).push_back(std::move(v));
+  return *this;
+}
+
+Json& Json::set(const std::string& key, Json v) {
+  PROPSIM_CHECK(is_object());
+  std::get<Object>(value_)[key] = std::move(v);
+  return *this;
+}
+
+std::size_t Json::size() const {
+  if (is_array()) return std::get<Array>(value_).size();
+  if (is_object()) return std::get<Object>(value_).size();
+  return 0;
+}
+
+std::string Json::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void append_number(std::string& out, double d) {
+  if (!std::isfinite(d)) {
+    out += "null";  // JSON has no Inf/NaN
+    return;
+  }
+  // Integers small enough to be exact render without a decimal point.
+  if (d == std::floor(d) && std::abs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", d);
+    out += buf;
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  out += buf;
+}
+
+void append_newline_indent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent * depth), ' ');
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  if (std::holds_alternative<std::nullptr_t>(value_)) {
+    out += "null";
+  } else if (const bool* b = std::get_if<bool>(&value_)) {
+    out += *b ? "true" : "false";
+  } else if (const double* d = std::get_if<double>(&value_)) {
+    append_number(out, *d);
+  } else if (const std::string* s = std::get_if<std::string>(&value_)) {
+    out += '"';
+    out += escape(*s);
+    out += '"';
+  } else if (const Array* a = std::get_if<Array>(&value_)) {
+    out += '[';
+    bool first = true;
+    for (const Json& v : *a) {
+      if (!first) out += ',';
+      first = false;
+      append_newline_indent(out, indent, depth + 1);
+      v.dump_to(out, indent, depth + 1);
+    }
+    if (!a->empty()) append_newline_indent(out, indent, depth);
+    out += ']';
+  } else if (const Object* o = std::get_if<Object>(&value_)) {
+    out += '{';
+    bool first = true;
+    for (const auto& [key, v] : *o) {
+      if (!first) out += ',';
+      first = false;
+      append_newline_indent(out, indent, depth + 1);
+      out += '"';
+      out += escape(key);
+      out += "\":";
+      if (indent > 0) out += ' ';
+      v.dump_to(out, indent, depth + 1);
+    }
+    if (!o->empty()) append_newline_indent(out, indent, depth);
+    out += '}';
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+}  // namespace propsim

@@ -1,0 +1,56 @@
+// Minimal JSON value builder for structured tool output.
+//
+// Build values imperatively and dump() them; no parsing, no external
+// dependencies. Numbers render with up-to-17-significant-digit
+// round-trip precision; strings are escaped per RFC 8259.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace propsim {
+
+class Json {
+ public:
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}  // NOLINT(runtime/explicit)
+  Json(bool b) : value_(b) {}                // NOLINT(runtime/explicit)
+  Json(double d) : value_(d) {}              // NOLINT(runtime/explicit)
+  Json(int i) : value_(static_cast<double>(i)) {}  // NOLINT
+  Json(std::int64_t i) : value_(static_cast<double>(i)) {}   // NOLINT
+  Json(std::uint64_t u) : value_(static_cast<double>(u)) {}  // NOLINT
+  Json(const char* s) : value_(std::string(s)) {}            // NOLINT
+  Json(std::string s) : value_(std::move(s)) {}              // NOLINT
+
+  static Json array();
+  static Json object();
+
+  bool is_array() const;
+  bool is_object() const;
+
+  /// Appends to an array (the value must be an array).
+  Json& push_back(Json v);
+  /// Sets an object member (the value must be an object).
+  Json& set(const std::string& key, Json v);
+
+  std::size_t size() const;
+
+  /// Serializes; `indent` > 0 pretty-prints with that many spaces.
+  std::string dump(int indent = 0) const;
+
+  static std::string escape(const std::string& s);
+
+ private:
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object>
+      value_;
+
+  void dump_to(std::string& out, int indent, int depth) const;
+};
+
+}  // namespace propsim

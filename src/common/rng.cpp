@@ -1,0 +1,30 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace propsim {
+
+double Rng::exponential(double mean) {
+  PROPSIM_CHECK(mean > 0.0);
+  // Inverse CDF on (0, 1]; 1 - uniform_double() never returns exactly 0.
+  return -mean * std::log(1.0 - uniform_double());
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  PROPSIM_CHECK(k <= n);
+  // Floyd's subset sampling: O(k) expected work, no O(n) scratch space.
+  std::vector<std::size_t> chosen;
+  chosen.reserve(k);
+  for (std::size_t j = n - k; j < n; ++j) {
+    const std::size_t t = static_cast<std::size_t>(uniform(j + 1));
+    if (std::find(chosen.begin(), chosen.end(), t) == chosen.end()) {
+      chosen.push_back(t);
+    } else {
+      chosen.push_back(j);
+    }
+  }
+  return chosen;
+}
+
+}  // namespace propsim

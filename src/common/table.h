@@ -1,0 +1,32 @@
+// Console table / CSV emitter for bench output.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace propsim {
+
+/// Collects rows of string cells and renders them either as an aligned
+/// ASCII table (for humans) or CSV (for plotting scripts).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Convenience: formats arithmetic values with %g-style precision.
+  void add_row_values(std::initializer_list<double> values);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  std::string to_ascii() const;
+  std::string to_csv() const;
+
+  static std::string fmt(double value, int precision = 6);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace propsim

@@ -1,0 +1,158 @@
+#include "core/exchange.h"
+
+#include <algorithm>
+
+namespace propsim {
+namespace {
+
+/// Neighbors of `self` that may legally move to `other` in a PROP-O
+/// exchange: not on the probe path, not the counterpart itself, and not
+/// already adjacent to the counterpart (no duplicate edges).
+std::vector<SlotId> transferable_neighbors(const OverlayNetwork& net,
+                                           SlotId self, SlotId other,
+                                           std::span<const SlotId> path) {
+  std::vector<SlotId> out;
+  for (const SlotId x : net.graph().neighbors(self)) {
+    if (x == other) continue;
+    if (std::find(path.begin(), path.end(), x) != path.end()) continue;
+    if (net.graph().has_edge(other, x)) continue;
+    out.push_back(x);
+  }
+  return out;
+}
+
+/// Keeps the k candidates with the largest latency improvement
+/// d(self, x) - d(other, x), i.e. those much closer to the counterpart.
+void select_greedy(const OverlayNetwork& net, SlotId self, SlotId other,
+                   std::vector<SlotId>& candidates, std::size_t k) {
+  std::sort(candidates.begin(), candidates.end(),
+            [&](SlotId a, SlotId b) {
+              const double gain_a =
+                  net.slot_latency(self, a) - net.slot_latency(other, a);
+              const double gain_b =
+                  net.slot_latency(self, b) - net.slot_latency(other, b);
+              if (gain_a != gain_b) return gain_a > gain_b;
+              return a < b;  // deterministic tie-break
+            });
+  candidates.resize(k);
+}
+
+void select_random(std::vector<SlotId>& candidates, std::size_t k, Rng& rng) {
+  rng.shuffle(candidates);
+  candidates.resize(k);
+  std::sort(candidates.begin(), candidates.end());
+}
+
+}  // namespace
+
+double prop_g_var(const OverlayNetwork& net, SlotId u, SlotId v) {
+  PROPSIM_CHECK(u != v);
+  const LatencyOracle& oracle = net.oracle();
+  const NodeId host_u = net.placement().host_of(u);
+  const NodeId host_v = net.placement().host_of(v);
+
+  // Before: each host sums latency to the hosts of its slot's neighbors.
+  const double before = net.neighbor_latency_sum(u) +
+                        net.neighbor_latency_sum(v);
+
+  // After the swap host_u serves slot v and vice versa. A neighbor slot
+  // that is the counterpart's slot then hosts the *other* peer, so the
+  // u—v edge latency (if the slots are adjacent) is unchanged.
+  double after = 0.0;
+  for (const SlotId i : net.graph().neighbors(v)) {
+    const NodeId hi = (i == u) ? host_v : net.placement().host_of(i);
+    after += oracle.latency(host_u, hi);
+  }
+  for (const SlotId i : net.graph().neighbors(u)) {
+    const NodeId hi = (i == v) ? host_u : net.placement().host_of(i);
+    after += oracle.latency(host_v, hi);
+  }
+  return before - after;
+}
+
+ExchangePlan plan_prop_g(const OverlayNetwork& net, SlotId u, SlotId v) {
+  ExchangePlan plan;
+  plan.mode = PropMode::kPropG;
+  plan.u = u;
+  plan.v = v;
+  plan.var = prop_g_var(net, u, v);
+  return plan;
+}
+
+std::optional<ExchangePlan> plan_prop_o(const OverlayNetwork& net, SlotId u,
+                                        SlotId v, std::span<const SlotId> path,
+                                        std::size_t m,
+                                        SelectionPolicy selection, Rng& rng) {
+  PROPSIM_CHECK(u != v);
+  PROPSIM_CHECK(m >= 1);
+  std::vector<SlotId> from_u = transferable_neighbors(net, u, v, path);
+  std::vector<SlotId> from_v = transferable_neighbors(net, v, u, path);
+  // Equal-sized sets keep every degree unchanged (Section 3.1: "exchange
+  // equal number of connections ... so the topology can maintain its
+  // essential features").
+  const std::size_t k = std::min({m, from_u.size(), from_v.size()});
+  if (k == 0) return std::nullopt;
+
+  switch (selection) {
+    case SelectionPolicy::kGreedy:
+      select_greedy(net, u, v, from_u, k);
+      select_greedy(net, v, u, from_v, k);
+      break;
+    case SelectionPolicy::kRandom:
+      select_random(from_u, k, rng);
+      select_random(from_v, k, rng);
+      break;
+  }
+
+  ExchangePlan plan;
+  plan.mode = PropMode::kPropO;
+  plan.u = u;
+  plan.v = v;
+  plan.from_u = std::move(from_u);
+  plan.from_v = std::move(from_v);
+
+  // Var (eq. 2): latency mass dropped minus latency mass picked up.
+  double var = 0.0;
+  for (const SlotId a : plan.from_u) {
+    var += net.slot_latency(u, a) - net.slot_latency(v, a);
+  }
+  for (const SlotId b : plan.from_v) {
+    var += net.slot_latency(v, b) - net.slot_latency(u, b);
+  }
+  plan.var = var;
+  return plan;
+}
+
+void apply_exchange(OverlayNetwork& net, const ExchangePlan& plan) {
+  switch (plan.mode) {
+    case PropMode::kPropG:
+      net.placement().swap_slots(plan.u, plan.v);
+      return;
+    case PropMode::kPropO: {
+      PROPSIM_CHECK(plan.from_u.size() == plan.from_v.size());
+      LogicalGraph& g = net.graph();
+      for (const SlotId a : plan.from_u) {
+        g.remove_edge(plan.u, a);
+        g.add_edge(plan.v, a);
+      }
+      for (const SlotId b : plan.from_v) {
+        g.remove_edge(plan.v, b);
+        g.add_edge(plan.u, b);
+      }
+      return;
+    }
+  }
+  PROPSIM_CHECK(false && "unknown exchange mode");
+}
+
+double measured_gain(const OverlayNetwork& net, const ExchangePlan& plan) {
+  const double before =
+      net.neighbor_latency_sum(plan.u) + net.neighbor_latency_sum(plan.v);
+  OverlayNetwork scratch = net;
+  apply_exchange(scratch, plan);
+  const double after = scratch.neighbor_latency_sum(plan.u) +
+                       scratch.neighbor_latency_sum(plan.v);
+  return before - after;
+}
+
+}  // namespace propsim

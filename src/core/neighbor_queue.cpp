@@ -1,0 +1,85 @@
+#include "core/neighbor_queue.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace propsim {
+
+void NeighborQueue::initialize(std::span<const SlotId> neighbors, Rng& rng) {
+  entries_.clear();
+  entries_.reserve(neighbors.size());
+  std::vector<SlotId> order(neighbors.begin(), neighbors.end());
+  rng.shuffle(order);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    entries_.push_back(Entry{order[i], static_cast<double>(i)});
+  }
+}
+
+std::size_t NeighborQueue::find(SlotId s) const {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].slot == s) return i;
+  }
+  return entries_.size();
+}
+
+double NeighborQueue::min_rank() const {
+  PROPSIM_CHECK(!entries_.empty());
+  double best = entries_.front().rank;
+  for (const Entry& e : entries_) best = std::min(best, e.rank);
+  return best;
+}
+
+double NeighborQueue::max_rank() const {
+  PROPSIM_CHECK(!entries_.empty());
+  double best = entries_.front().rank;
+  for (const Entry& e : entries_) best = std::max(best, e.rank);
+  return best;
+}
+
+std::optional<SlotId> NeighborQueue::front() const {
+  if (entries_.empty()) return std::nullopt;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < entries_.size(); ++i) {
+    // Ties break toward the lower slot id for determinism.
+    if (entries_[i].rank < entries_[best].rank ||
+        (entries_[i].rank == entries_[best].rank &&
+         entries_[i].slot < entries_[best].slot)) {
+      best = i;
+    }
+  }
+  return entries_[best].slot;
+}
+
+void NeighborQueue::on_success(SlotId s) {
+  const std::size_t i = find(s);
+  if (i == entries_.size()) return;  // neighbor moved away mid-exchange
+  entries_[i].rank -= 1.0;
+}
+
+void NeighborQueue::on_failure(SlotId s) {
+  const std::size_t i = find(s);
+  if (i == entries_.size()) return;
+  entries_[i].rank = max_rank() + 1.0;
+}
+
+void NeighborQueue::add_front(SlotId s) {
+  PROPSIM_CHECK(find(s) == entries_.size());
+  const double rank = entries_.empty() ? 0.0 : min_rank() - 1.0;
+  entries_.push_back(Entry{s, rank});
+}
+
+void NeighborQueue::remove(SlotId s) {
+  const std::size_t i = find(s);
+  if (i == entries_.size()) return;
+  entries_[i] = entries_.back();
+  entries_.pop_back();
+}
+
+double NeighborQueue::rank_of(SlotId s) const {
+  const std::size_t i = find(s);
+  PROPSIM_CHECK(i != entries_.size());
+  return entries_[i].rank;
+}
+
+}  // namespace propsim

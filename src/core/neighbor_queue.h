@@ -1,0 +1,60 @@
+// The paper's neighborQ: orders a node's neighbors for probe first-hop
+// selection.
+//
+// Lower rank = probed sooner. On a successful exchange the probed
+// neighbor's rank drops by 1 ("chosen in the near future"); on failure it
+// moves to the tail; churn-added neighbors enter at the front with
+// maximum priority. Degrees are small, so a flat vector beats a heap.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "overlay/logical_graph.h"
+
+namespace propsim {
+
+class NeighborQueue {
+ public:
+  /// Seeds the queue with a uniformly random permutation of `neighbors`
+  /// (every neighbor equally likely to be probed first, per the paper).
+  void initialize(std::span<const SlotId> neighbors, Rng& rng);
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+  bool contains(SlotId s) const { return find(s) != entries_.size(); }
+
+  /// The neighbor with the lowest rank (next probe first-hop).
+  std::optional<SlotId> front() const;
+
+  /// Successful exchange through s: decrease its rank by 1.
+  void on_success(SlotId s);
+
+  /// Failed attempt through s: move it to the tail.
+  void on_failure(SlotId s);
+
+  /// New neighbor (churn or exchange rewire): enters at the front.
+  void add_front(SlotId s);
+
+  /// Neighbor lost; no-op if absent.
+  void remove(SlotId s);
+
+  /// Current rank of a contained neighbor (for tests).
+  double rank_of(SlotId s) const;
+
+ private:
+  struct Entry {
+    SlotId slot;
+    double rank;
+  };
+
+  std::size_t find(SlotId s) const;
+  double min_rank() const;
+  double max_rank() const;
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace propsim

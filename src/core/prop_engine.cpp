@@ -1,0 +1,427 @@
+#include "core/prop_engine.h"
+
+#include <algorithm>
+
+namespace propsim {
+
+PropEngine::PropEngine(OverlayNetwork& net, Simulator& sim,
+                       const PropParams& params, std::uint64_t seed)
+    : net_(net), sim_(sim), params_(params), rng_(seed) {
+  PROPSIM_CHECK(params_.init_timer_s > 0.0);
+  PROPSIM_CHECK(params_.nhops >= 1 || params_.random_target);
+}
+
+void PropEngine::ensure_state_capacity() {
+  if (state_.size() < net_.graph().slot_count()) {
+    state_.resize(net_.graph().slot_count());
+  }
+}
+
+void PropEngine::start() {
+  PROPSIM_CHECK(!started_);
+  started_ = true;
+  ensure_state_capacity();
+  effective_m_ = params_.m != 0 ? params_.m
+                                : std::max<std::size_t>(
+                                      1, net_.graph().min_active_degree());
+  for (const SlotId s : net_.graph().active_slots()) {
+    init_node(s);
+    // Stagger first probes over one timer period so the population does
+    // not fire in lockstep.
+    schedule_probe(s, rng_.uniform_double(0.0, params_.init_timer_s));
+  }
+}
+
+void PropEngine::stop() {
+  for (NodeState& st : state_) {
+    if (st.pending != kInvalidEvent) {
+      sim_.cancel(st.pending);
+      st.pending = kInvalidEvent;
+    }
+    st.active = false;
+  }
+  started_ = false;
+}
+
+void PropEngine::init_node(SlotId s) {
+  NodeState& st = state_[s];
+  st.queue.initialize(net_.graph().neighbors(s), rng_);
+  st.timer = params_.init_timer_s;
+  st.trials = 0;
+  st.pending = kInvalidEvent;
+  st.active = true;
+}
+
+void PropEngine::schedule_probe(SlotId s, double delay) {
+  NodeState& st = state_[s];
+  PROPSIM_CHECK(st.pending == kInvalidEvent);
+  st.pending = sim_.schedule_in(delay, [this, s] { on_probe_timer(s); });
+}
+
+void PropEngine::reschedule_sooner(SlotId s, double delay) {
+  NodeState& st = state_[s];
+  if (st.pending != kInvalidEvent) {
+    sim_.cancel(st.pending);
+    st.pending = kInvalidEvent;
+  }
+  schedule_probe(s, delay);
+}
+
+void PropEngine::on_probe_timer(SlotId s) {
+  NodeState& st = state_[s];
+  st.pending = kInvalidEvent;
+  if (!st.active) return;
+  attempt(s);
+  if (st.active && st.pending == kInvalidEvent) {
+    schedule_probe(s, st.timer);
+  }
+}
+
+bool PropEngine::attempt(SlotId u) {
+  ensure_state_capacity();
+  NodeState& st = state_[u];
+  PROPSIM_CHECK(net_.graph().is_active(u));
+  ++stats_.attempts;
+  ++st.trials;
+
+  const auto neighbors = net_.graph().neighbors(u);
+  if (neighbors.empty()) {
+    return false;  // isolated (mid-churn); try again next timer
+  }
+
+  // First hop from neighborQ (or uniform when the ablation disables it).
+  SlotId first_hop;
+  if (params_.use_priority_queue) {
+    const auto front = st.queue.front();
+    if (!front.has_value() || !net_.graph().has_edge(u, *front)) {
+      // Queue drifted from the graph (exchange raced a churn event);
+      // rebuild and fall back to a uniform pick.
+      st.queue.initialize(neighbors, rng_);
+      first_hop = neighbors[static_cast<std::size_t>(
+          rng_.uniform(neighbors.size()))];
+    } else {
+      first_hop = *front;
+    }
+  } else {
+    first_hop =
+        neighbors[static_cast<std::size_t>(rng_.uniform(neighbors.size()))];
+  }
+
+  // Locate the counterpart v.
+  SlotId v = kInvalidSlot;
+  std::vector<SlotId> path;
+  if (params_.random_target) {
+    const auto actives = net_.graph().active_slots();
+    PROPSIM_CHECK(actives.size() >= 2);
+    do {
+      v = actives[static_cast<std::size_t>(rng_.uniform(actives.size()))];
+    } while (v == u);
+    path = {u, v};
+    net_.traffic().count(net_.placement().host_of(u), MessageKind::kWalk);
+  } else {
+    auto walk = net_.random_walk(u, first_hop, params_.nhops, rng_);
+    net_.traffic().count(net_.placement().host_of(u), MessageKind::kWalk,
+                         params_.nhops);
+    if (!walk.has_value()) {
+      ++stats_.walk_failures;
+      handle_failure(u, first_hop);
+      return false;
+    }
+    path = std::move(*walk);
+    v = path.back();
+  }
+
+  // Plan the exchange and evaluate Var.
+  std::optional<ExchangePlan> plan;
+  if (params_.mode == PropMode::kPropG) {
+    plan = plan_prop_g(net_, u, v);
+  } else {
+    plan = plan_prop_o(net_, u, v, path, effective_m_, params_.selection,
+                       rng_);
+  }
+  if (!plan.has_value()) {
+    handle_failure(u, first_hop);
+    return false;
+  }
+  ++stats_.planned;
+  charge_messages(*plan, path.size() - 1, /*committed=*/false);
+
+  if (plan->var <= params_.min_var) {
+    ++stats_.rejected;
+    handle_failure(u, first_hop);
+    return false;
+  }
+
+  if (params_.model_message_delays) {
+    // The decision travels over the network: commit only after the
+    // negotiation round-trips, re-validating against whatever the
+    // overlay looks like by then. The node's next probe is scheduled by
+    // the commit handler, so take over its pending slot.
+    NodeState& st = state_[u];
+    if (st.pending != kInvalidEvent) {
+      sim_.cancel(st.pending);
+      st.pending = kInvalidEvent;
+    }
+    const double delay = negotiation_delay_s(path);
+    st.pending = sim_.schedule_in(
+        delay, [this, u, first_hop, v, path = std::move(path)]() mutable {
+          state_[u].pending = kInvalidEvent;
+          commit_after_delay(u, first_hop, v, std::move(path));
+        });
+    return false;  // outcome pending
+  }
+
+  apply_exchange(net_, *plan);
+  if (swap_log_ != nullptr && plan->mode == PropMode::kPropG) {
+    swap_log_->record(sim_.now(), plan->u, plan->v);
+  }
+  charge_messages(*plan, path.size() - 1, /*committed=*/true);
+  propagate_exchange_effects(*plan);
+  ++stats_.exchanges;
+  stats_.total_var_gain += plan->var;
+  stats_.last_exchange_time = sim_.now();
+  notify_observer(*plan);
+  handle_success(u, first_hop);
+  return true;
+}
+
+void PropEngine::notify_observer(const ExchangePlan& plan) {
+  if (!observer_) return;
+  ExchangeEvent event;
+  event.time = sim_.now();
+  event.mode = plan.mode;
+  event.u = plan.u;
+  event.v = plan.v;
+  event.var = plan.var;
+  event.transferred = plan.from_u.size();
+  observer_(event);
+}
+
+double PropEngine::negotiation_delay_s(std::span<const SlotId> path) const {
+  // One round-trip along the walk to reach the counterpart plus one
+  // probe round-trip to the farthest hypothetical neighbor, all in
+  // milliseconds of physical latency.
+  double walk_ms = 0.0;
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    walk_ms += net_.slot_latency(path[i - 1], path[i]);
+  }
+  double probe_ms = 0.0;
+  for (const SlotId end : {path.front(), path.back()}) {
+    for (const SlotId nb : net_.graph().neighbors(end)) {
+      probe_ms = std::max(probe_ms, net_.slot_latency(end, nb));
+    }
+  }
+  return (2.0 * walk_ms + 2.0 * probe_ms) / 1000.0;
+}
+
+void PropEngine::commit_after_delay(SlotId u, SlotId first_hop, SlotId v,
+                                    std::vector<SlotId> path) {
+  NodeState& st = state_[u];
+  if (!st.active) return;
+  auto conflict = [&] {
+    ++stats_.commit_conflicts;
+    handle_failure(u, first_hop);
+    schedule_probe(u, st.timer);
+  };
+  // The world may have changed while the decision was in flight: every
+  // path slot must still be active and every path edge present (the
+  // connectivity argument of Theorem 1 depends on the path surviving).
+  if (!net_.graph().is_active(v)) {
+    conflict();
+    return;
+  }
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (!net_.graph().is_active(path[i])) {
+      conflict();
+      return;
+    }
+    // Random-target probing has no walk path, so no edges to check.
+    if (!params_.random_target && i > 0 &&
+        !net_.graph().has_edge(path[i - 1], path[i])) {
+      conflict();
+      return;
+    }
+  }
+  // Re-plan from fresh state; a concurrent exchange may have flipped
+  // the gain's sign or stolen the transferable neighbors.
+  std::optional<ExchangePlan> plan;
+  if (params_.mode == PropMode::kPropG) {
+    plan = plan_prop_g(net_, u, v);
+  } else {
+    plan = plan_prop_o(net_, u, v, path, effective_m_, params_.selection,
+                       rng_);
+  }
+  if (!plan.has_value() || plan->var <= params_.min_var) {
+    conflict();
+    return;
+  }
+  apply_exchange(net_, *plan);
+  if (swap_log_ != nullptr && plan->mode == PropMode::kPropG) {
+    swap_log_->record(sim_.now(), plan->u, plan->v);
+  }
+  charge_messages(*plan, path.size() - 1, /*committed=*/true);
+  propagate_exchange_effects(*plan);
+  ++stats_.exchanges;
+  stats_.total_var_gain += plan->var;
+  stats_.last_exchange_time = sim_.now();
+  notify_observer(*plan);
+  handle_success(u, first_hop);
+  schedule_probe(u, st.timer);
+}
+
+void PropEngine::handle_success(SlotId u, SlotId first_hop) {
+  NodeState& st = state_[u];
+  if (params_.use_priority_queue) st.queue.on_success(first_hop);
+  st.timer = params_.init_timer_s;
+}
+
+void PropEngine::handle_failure(SlotId u, SlotId first_hop) {
+  NodeState& st = state_[u];
+  if (params_.use_priority_queue) st.queue.on_failure(first_hop);
+  // Backoff applies in the maintenance phase only; warm-up probes at the
+  // base rate for MAX_INIT_TRIAL trials.
+  if (params_.use_backoff && st.trials > params_.max_init_trial) {
+    st.timer = std::min(st.timer * 2.0, params_.max_timer_s());
+    if (st.timer >= params_.max_timer_s()) {
+      // "if Timer >= MAX_TIMER it will also be set as INIT_TIMER":
+      // the cycle restarts rather than freezing the node forever.
+      st.timer = params_.init_timer_s;
+    }
+  }
+}
+
+void PropEngine::propagate_exchange_effects(const ExchangePlan& plan) {
+  ensure_state_capacity();
+  switch (plan.mode) {
+    case PropMode::kPropG: {
+      // Slots keep their neighbor sets, so third-party queues stay valid.
+      // The two swapped peers both completed a successful exchange; their
+      // timers reset through handle_success (initiator) and here (peer).
+      state_[plan.v].timer = params_.init_timer_s;
+      return;
+    }
+    case PropMode::kPropO: {
+      // Moved neighbors see one endpoint replaced by the other: drop the
+      // old entry, admit the new one at the front (maximum priority), as
+      // the paper prescribes for fresh neighbors.
+      for (const SlotId a : plan.from_u) {
+        state_[a].queue.remove(plan.u);
+        state_[a].queue.add_front(plan.v);
+      }
+      for (const SlotId b : plan.from_v) {
+        state_[b].queue.remove(plan.v);
+        state_[b].queue.add_front(plan.u);
+      }
+      // u and v rebuild queue membership for their changed neighbor sets.
+      for (const SlotId a : plan.from_u) {
+        state_[plan.u].queue.remove(a);
+        state_[plan.v].queue.add_front(a);
+      }
+      for (const SlotId b : plan.from_v) {
+        state_[plan.v].queue.remove(b);
+        state_[plan.u].queue.add_front(b);
+      }
+      state_[plan.v].timer = params_.init_timer_s;
+      return;
+    }
+  }
+}
+
+void PropEngine::charge_messages(const ExchangePlan& plan,
+                                 std::size_t walk_len, bool committed) {
+  (void)walk_len;  // walk hops are charged where the walk happens
+  const NodeId host_u = net_.placement().host_of(plan.u);
+  const NodeId host_v = net_.placement().host_of(plan.v);
+  if (!committed) {
+    // Probing the hypothetical neighbors: 2c messages for PROP-G
+    // (every neighbor of both peers), 2m for PROP-O (the transfer sets).
+    std::uint64_t probes_u = 0;
+    std::uint64_t probes_v = 0;
+    if (plan.mode == PropMode::kPropG) {
+      probes_u = net_.graph().degree(plan.v);
+      probes_v = net_.graph().degree(plan.u);
+    } else {
+      probes_u = plan.from_v.size();
+      probes_v = plan.from_u.size();
+    }
+    if (probes_u > 0) {
+      net_.traffic().count(host_u, MessageKind::kProbe, probes_u);
+    }
+    if (probes_v > 0) {
+      net_.traffic().count(host_v, MessageKind::kProbe, probes_v);
+    }
+    return;
+  }
+  // Commit: the two peers rewrite entries and notify affected neighbors.
+  net_.traffic().count(host_u, MessageKind::kExchangeCtrl);
+  net_.traffic().count(host_v, MessageKind::kExchangeCtrl);
+  std::uint64_t notify_u = 0;
+  std::uint64_t notify_v = 0;
+  if (plan.mode == PropMode::kPropG) {
+    notify_u = net_.graph().degree(plan.u);
+    notify_v = net_.graph().degree(plan.v);
+  } else {
+    notify_u = plan.from_u.size();
+    notify_v = plan.from_v.size();
+  }
+  if (notify_u > 0) net_.traffic().count(host_u, MessageKind::kNotify, notify_u);
+  if (notify_v > 0) net_.traffic().count(host_v, MessageKind::kNotify, notify_v);
+}
+
+void PropEngine::node_joined(SlotId s, std::span<const SlotId> new_neighbors) {
+  ensure_state_capacity();
+  init_node(s);
+  schedule_probe(s, rng_.uniform_double(0.0, params_.init_timer_s));
+  // Surviving peers learn of a fresh neighbor: front of neighborQ with
+  // maximum priority, and their timer resets so they probe soon.
+  for (const SlotId nb : new_neighbors) {
+    if (!state_[nb].active) continue;
+    if (!state_[nb].queue.contains(s)) state_[nb].queue.add_front(s);
+    state_[nb].timer = params_.init_timer_s;
+    reschedule_sooner(nb, rng_.uniform_double(0.0, params_.init_timer_s));
+  }
+}
+
+void PropEngine::node_left(SlotId s,
+                           std::span<const SlotId> former_neighbors) {
+  ensure_state_capacity();
+  NodeState& st = state_[s];
+  if (st.pending != kInvalidEvent) {
+    sim_.cancel(st.pending);
+    st.pending = kInvalidEvent;
+  }
+  st.active = false;
+  for (const SlotId nb : former_neighbors) {
+    if (!state_[nb].active) continue;
+    state_[nb].queue.remove(s);
+    state_[nb].timer = params_.init_timer_s;
+  }
+}
+
+void PropEngine::edge_added(SlotId a, SlotId b) {
+  ensure_state_capacity();
+  for (const auto& [self, other] : {std::pair{a, b}, std::pair{b, a}}) {
+    if (!state_[self].active) continue;
+    if (!state_[self].queue.contains(other)) {
+      state_[self].queue.add_front(other);
+    }
+    state_[self].timer = params_.init_timer_s;
+  }
+}
+
+double PropEngine::timer_of(SlotId s) const {
+  PROPSIM_CHECK(s < state_.size());
+  return state_[s].timer;
+}
+
+bool PropEngine::in_maintenance(SlotId s) const {
+  PROPSIM_CHECK(s < state_.size());
+  return state_[s].trials >= params_.max_init_trial;
+}
+
+const NeighborQueue& PropEngine::queue_of(SlotId s) const {
+  PROPSIM_CHECK(s < state_.size());
+  return state_[s].queue;
+}
+
+}  // namespace propsim

@@ -1,0 +1,137 @@
+// PropEngine: the event-driven PROP protocol (warm-up + maintenance).
+//
+// Each active overlay slot runs the per-node state machine of the paper's
+// Section 3.2 on the shared discrete-event clock: periodic probes walk
+// nhops away, evaluate Var against a potential counterpart, and commit
+// the exchange when Var > MIN_VAR. Maintenance adds the neighborQ
+// priority feedback and the Markov-chain timer backoff.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/exchange.h"
+#include "core/neighbor_queue.h"
+#include "core/params.h"
+#include "core/swap_log.h"
+#include "overlay/overlay_network.h"
+#include "sim/simulator.h"
+
+namespace propsim {
+
+class PropEngine {
+ public:
+  struct Stats {
+    std::uint64_t attempts = 0;       // probe trials started
+    std::uint64_t walk_failures = 0;  // walk could not reach nhops depth
+    std::uint64_t planned = 0;        // plans evaluated against MIN_VAR
+    std::uint64_t exchanges = 0;      // committed exchanges
+    std::uint64_t rejected = 0;       // plans with Var <= MIN_VAR
+    std::uint64_t commit_conflicts = 0;  // delayed commits invalidated by
+                                         // a concurrent change
+    double total_var_gain = 0.0;      // summed Var of committed exchanges
+    double last_exchange_time = 0.0;
+  };
+
+  /// The engine keeps references to `net` and `sim`; both must outlive it.
+  PropEngine(OverlayNetwork& net, Simulator& sim, const PropParams& params,
+             std::uint64_t seed);
+
+  /// Initializes per-node state and schedules the first probe of every
+  /// active slot (staggered uniformly over one INIT_TIMER).
+  void start();
+
+  /// Cancels all pending probes.
+  void stop();
+
+  /// Runs one probe attempt for `u` immediately (tests / manual driving).
+  /// Returns true if an exchange was committed.
+  bool attempt(SlotId u);
+
+  /// Churn hooks. Call node_joined after the slot is active and wired
+  /// into the logical graph; call node_left after its edges are gone.
+  /// Surviving neighbors' queues and timers are adjusted here.
+  void node_joined(SlotId s, std::span<const SlotId> new_neighbors);
+  void node_left(SlotId s, std::span<const SlotId> former_neighbors);
+
+  /// Repair hook: an edge a—b was added between two existing active
+  /// peers (failure repair, manual rewiring). Both ends treat the other
+  /// as a fresh neighbor: front of neighborQ, timer reset.
+  void edge_added(SlotId a, SlotId b);
+
+  const Stats& stats() const { return stats_; }
+  const PropParams& params() const { return params_; }
+
+  /// Effective PROP-O exchange size (params.m, or delta(G) captured at
+  /// start() when params.m == 0).
+  std::size_t exchange_size() const { return effective_m_; }
+
+  /// Optional sink for committed PROP-G swaps (transient-forwarding
+  /// studies; see core/swap_log.h). Not owned; may be null.
+  void set_swap_log(SwapLog* log) { swap_log_ = log; }
+
+  /// One committed exchange, as reported to the observer.
+  struct ExchangeEvent {
+    double time = 0.0;
+    PropMode mode = PropMode::kPropG;
+    SlotId u = kInvalidSlot;
+    SlotId v = kInvalidSlot;
+    double var = 0.0;
+    std::size_t transferred = 0;  // m for PROP-O, 0 for PROP-G
+  };
+  using ExchangeObserver = std::function<void(const ExchangeEvent&)>;
+
+  /// Observability hook: called after every committed exchange (event
+  /// timelines, live dashboards, trace dumps). May be empty.
+  void set_observer(ExchangeObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+  /// Current probe timer of a slot (tests/benches).
+  double timer_of(SlotId s) const;
+  bool in_maintenance(SlotId s) const;
+  const NeighborQueue& queue_of(SlotId s) const;
+
+ private:
+  struct NodeState {
+    NeighborQueue queue;
+    double timer = 0.0;
+    std::size_t trials = 0;
+    EventId pending = kInvalidEvent;
+    bool active = false;
+  };
+
+  void ensure_state_capacity();
+  void init_node(SlotId s);
+  void schedule_probe(SlotId s, double delay);
+  void reschedule_sooner(SlotId s, double delay);
+  void on_probe_timer(SlotId s);
+  /// Delayed-commit path: re-plans and applies after the negotiation
+  /// round-trips; updates queue/timer and schedules the next probe.
+  void commit_after_delay(SlotId u, SlotId first_hop, SlotId v,
+                          std::vector<SlotId> path);
+  /// Simulated duration of one probe negotiation (walk + probe RTTs).
+  double negotiation_delay_s(std::span<const SlotId> path) const;
+  void handle_success(SlotId u, SlotId first_hop);
+  void handle_failure(SlotId u, SlotId first_hop);
+  void notify_observer(const ExchangePlan& plan);
+  /// Queue/notification updates on third parties after a committed plan.
+  void propagate_exchange_effects(const ExchangePlan& plan);
+  void charge_messages(const ExchangePlan& plan, std::size_t walk_len,
+                       bool committed);
+
+  OverlayNetwork& net_;
+  Simulator& sim_;
+  PropParams params_;
+  Rng rng_;
+  std::vector<NodeState> state_;
+  SwapLog* swap_log_ = nullptr;
+  ExchangeObserver observer_;
+  Stats stats_;
+  std::size_t effective_m_ = 1;
+  bool started_ = false;
+};
+
+}  // namespace propsim

@@ -1,0 +1,58 @@
+#include "core/swap_log.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace propsim {
+
+void SwapLog::record(double time, SlotId u, SlotId v) {
+  PROPSIM_CHECK(entries_.empty() || time >= entries_.back().time);
+  PROPSIM_CHECK(u != v);
+  entries_.push_back(Entry{time, u, v});
+}
+
+void SwapLog::prune(double before) {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), before,
+      [](const Entry& e, double t) { return e.time < t; });
+  entries_.erase(entries_.begin(), it);
+}
+
+const SwapLog::Entry* SwapLog::recent_swap(SlotId s, double now,
+                                           double window) const {
+  // Scan backwards from the newest entry; entries are time-ordered.
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    if (it->time <= now - window) break;
+    if (it->time > now) continue;  // recorded "later" during same event
+    if (it->u == s || it->v == s) return &*it;
+  }
+  return nullptr;
+}
+
+std::size_t SwapLog::stale_hops(std::span<const SlotId> path, double now,
+                                double window) const {
+  std::size_t stale = 0;
+  // The source (path[0]) routes with its own fresh state; intermediate
+  // and final hops may be reached through stale third-party pointers.
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    if (recent_swap(path[i], now, window) != nullptr) ++stale;
+  }
+  return stale;
+}
+
+double SwapLog::transient_path_latency(const OverlayNetwork& net,
+                                       std::span<const SlotId> path,
+                                       double now, double window) const {
+  double total = path_latency(net, path);
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    const Entry* swap = recent_swap(path[i], now, window);
+    if (swap == nullptr) continue;
+    // The cached-counterpart forward: one traversal between the two
+    // swapped positions under the current placement.
+    total += net.slot_latency(swap->u, swap->v);
+  }
+  return total;
+}
+
+}  // namespace propsim

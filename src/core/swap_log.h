@@ -1,0 +1,58 @@
+// Forwarding-cache model for in-flight lookups during peer-exchange.
+//
+// When PROP-G commits, both peers "cache the address of their
+// counterparts so that the lookups in progress during peer-exchange can
+// be forwarded correctly" (Section 3.2). Routing state elsewhere is
+// briefly stale: a lookup that reaches an exchanged position within the
+// propagation window is served by the peer now at that position, which
+// forwards it one extra (cached) hop to the intended peer's new
+// position. SwapLog records commits and prices that transient penalty,
+// so benches can quantify the claim that it is negligible against the
+// steady-state gain.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "overlay/overlay_network.h"
+
+namespace propsim {
+
+class SwapLog {
+ public:
+  /// Records a committed PROP-G exchange of slots u and v at sim-time t
+  /// (seconds). Times must be non-decreasing.
+  void record(double time, SlotId u, SlotId v);
+
+  std::size_t size() const { return entries_.size(); }
+
+  /// Drops entries older than `before` (amortized bookkeeping).
+  void prune(double before);
+
+  /// Counts hops of `path` that land on a slot whose exchange committed
+  /// within (now - window, now].
+  std::size_t stale_hops(std::span<const SlotId> path, double now,
+                         double window) const;
+
+  /// Lookup latency along `path` including the forwarding penalty: each
+  /// stale hop pays one extra traversal between the two swapped
+  /// positions (the cached-counterpart forward).
+  double transient_path_latency(const OverlayNetwork& net,
+                                std::span<const SlotId> path, double now,
+                                double window) const;
+
+ private:
+  struct Entry {
+    double time;
+    SlotId u;
+    SlotId v;
+  };
+
+  /// Most recent swap involving `s` within the window; nullptr if none.
+  const Entry* recent_swap(SlotId s, double now, double window) const;
+
+  std::vector<Entry> entries_;  // time-ordered
+};
+
+}  // namespace propsim

@@ -1,0 +1,71 @@
+#include "gnutella/flood_search.h"
+
+#include <limits>
+
+namespace propsim {
+
+FloodResult flood_search(OverlayNetwork& net, SlotId source,
+                         const std::vector<bool>& holders, std::uint32_t ttl,
+                         const std::vector<double>* processing_delay_ms) {
+  const LogicalGraph& g = net.graph();
+  PROPSIM_CHECK(holders.size() == g.slot_count());
+  PROPSIM_CHECK(g.is_active(source));
+  if (processing_delay_ms != nullptr) {
+    PROPSIM_CHECK(processing_delay_ms->size() == g.slot_count());
+  }
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  FloodResult result;
+
+  // Breadth-first wavefront by hop count; within the scope we track the
+  // minimum latency at which each peer first hears the query. A real
+  // flood delivers along every path — the first response corresponds to
+  // the fastest one, which is what the latency tracking captures.
+  std::vector<double> best(g.slot_count(), kInf);
+  std::vector<std::uint32_t> hop_of(g.slot_count(), 0);
+  std::vector<SlotId> frontier{source};
+  std::vector<SlotId> next;
+  best[source] = 0.0;
+  result.peers_reached = 1;
+
+  auto consider_hit = [&](SlotId s) {
+    if (!holders[s]) return;
+    if (best[s] < result.first_response_ms || !result.found) {
+      result.found = true;
+      result.first_response_ms = best[s];
+      result.hops = hop_of[s];
+    }
+  };
+  consider_hit(source);
+
+  for (std::uint32_t hop = 1; hop <= ttl && !frontier.empty(); ++hop) {
+    next.clear();
+    for (const SlotId u : frontier) {
+      for (const SlotId v : g.neighbors(u)) {
+        ++result.messages;
+        net.traffic().count(net.placement().host_of(u), MessageKind::kLookup);
+        double arrive = best[u] + net.slot_latency(u, v);
+        if (processing_delay_ms != nullptr) {
+          arrive += (*processing_delay_ms)[v];
+        }
+        if (arrive < best[v]) {
+          const bool first_visit = best[v] == kInf;
+          best[v] = arrive;
+          hop_of[v] = hop;
+          consider_hit(v);
+          if (first_visit) {
+            ++result.peers_reached;
+            next.push_back(v);
+          }
+          // Re-visits with lower latency do not re-forward: Gnutella
+          // peers drop duplicate query ids. The latency improvement is
+          // still recorded because the duplicate does arrive.
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return result;
+}
+
+}  // namespace propsim

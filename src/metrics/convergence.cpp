@@ -1,0 +1,20 @@
+#include "metrics/convergence.h"
+
+#include "common/check.h"
+
+namespace propsim {
+
+ConvergenceSampler::ConvergenceSampler(Simulator& sim,
+                                       std::string series_name,
+                                       double start_s, double end_s,
+                                       double interval_s, MetricFn metric)
+    : series_(std::move(series_name)), metric_(std::move(metric)) {
+  PROPSIM_CHECK(interval_s > 0.0);
+  PROPSIM_CHECK(end_s >= start_s);
+  PROPSIM_CHECK(metric_ != nullptr);
+  for (double t = start_s; t <= end_s + 1e-9; t += interval_s) {
+    sim.schedule_at(t, [this, &sim] { series_.record(sim.now(), metric_()); });
+  }
+}
+
+}  // namespace propsim

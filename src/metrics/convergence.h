@@ -1,0 +1,31 @@
+// Periodic metric sampling on the simulated clock — produces the
+// "metric vs time" series the paper's figures plot.
+#pragma once
+
+#include <functional>
+
+#include "common/timeseries.h"
+#include "sim/simulator.h"
+
+namespace propsim {
+
+/// Samples `metric()` every `interval_s` from t=start_s through t=end_s
+/// inclusive (events scheduled up front; the simulator interleaves them
+/// with protocol activity). The sampler must outlive the simulation run.
+class ConvergenceSampler {
+ public:
+  using MetricFn = std::function<double()>;
+
+  ConvergenceSampler(Simulator& sim, std::string series_name,
+                     double start_s, double end_s, double interval_s,
+                     MetricFn metric);
+
+  const TimeSeries& series() const { return series_; }
+  TimeSeries take_series() { return std::move(series_); }
+
+ private:
+  TimeSeries series_;
+  MetricFn metric_;
+};
+
+}  // namespace propsim

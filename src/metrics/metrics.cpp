@@ -1,0 +1,97 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace propsim {
+
+std::vector<QueryPair> sample_query_pairs(const LogicalGraph& graph,
+                                          std::size_t count, Rng& rng) {
+  const auto slots = graph.active_slots();
+  PROPSIM_CHECK(slots.size() >= 2);
+  std::vector<QueryPair> pairs;
+  pairs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const SlotId src =
+        slots[static_cast<std::size_t>(rng.uniform(slots.size()))];
+    SlotId dst;
+    do {
+      dst = slots[static_cast<std::size_t>(rng.uniform(slots.size()))];
+    } while (dst == src);
+    pairs.push_back(QueryPair{src, dst});
+  }
+  return pairs;
+}
+
+double average_route_latency(std::span<const QueryPair> queries,
+                             const RouteLatencyFn& fn) {
+  PROPSIM_CHECK(!queries.empty());
+  double sum = 0.0;
+  for (const QueryPair& q : queries) sum += fn(q);
+  return sum / static_cast<double>(queries.size());
+}
+
+double average_direct_latency(const OverlayNetwork& net,
+                              std::span<const QueryPair> queries) {
+  PROPSIM_CHECK(!queries.empty());
+  double sum = 0.0;
+  for (const QueryPair& q : queries) sum += net.slot_latency(q.src, q.dst);
+  return sum / static_cast<double>(queries.size());
+}
+
+StretchResult stretch(const OverlayNetwork& net,
+                      std::span<const QueryPair> queries,
+                      const RouteLatencyFn& fn) {
+  StretchResult r;
+  r.logical_al = average_route_latency(queries, fn);
+  r.physical_al = average_direct_latency(net, queries);
+  PROPSIM_CHECK(r.physical_al > 0.0);
+  r.stretch = r.logical_al / r.physical_al;
+  return r;
+}
+
+std::vector<double> unstructured_lookup_latencies(
+    const OverlayNetwork& net, std::span<const QueryPair> queries,
+    const std::vector<double>* processing_delay_ms) {
+  // One Dijkstra per distinct source: sort query indices by source.
+  std::vector<std::size_t> order(queries.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return queries[a].src < queries[b].src;
+  });
+  std::vector<double> out(queries.size(), 0.0);
+  std::vector<double> dist;
+  SlotId current = kInvalidSlot;
+  for (const std::size_t idx : order) {
+    const QueryPair& q = queries[idx];
+    if (q.src != current) {
+      current = q.src;
+      dist = net.flood_latencies(current, processing_delay_ms);
+    }
+    out[idx] = dist[q.dst];
+  }
+  return out;
+}
+
+double average_unstructured_lookup_latency(
+    const OverlayNetwork& net, std::span<const QueryPair> queries,
+    const std::vector<double>* processing_delay_ms) {
+  PROPSIM_CHECK(!queries.empty());
+  const auto lat =
+      unstructured_lookup_latencies(net, queries, processing_delay_ms);
+  double sum = 0.0;
+  for (const double v : lat) sum += v;
+  return sum / static_cast<double>(lat.size());
+}
+
+RouteLatencyFn chord_router(const OverlayNetwork& net, const ChordRing& ring,
+                            const std::vector<double>* processing_delay_ms) {
+  return [&net, &ring, processing_delay_ms](const QueryPair& q) {
+    // Look up the key owned by the destination slot, so the greedy walk
+    // terminates exactly there.
+    const auto path = ring.lookup_path(q.src, ring.id_of(q.dst));
+    return path_latency(net, path, processing_delay_ms);
+  };
+}
+
+}  // namespace propsim

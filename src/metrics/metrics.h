@@ -1,0 +1,65 @@
+// Evaluation metrics: average lookup latency, average latency (AL) and
+// stretch, exactly as defined in Section 4.2 of the paper.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "chord/chord_ring.h"
+#include "common/rng.h"
+#include "overlay/overlay_network.h"
+
+namespace propsim {
+
+struct QueryPair {
+  SlotId src;
+  SlotId dst;
+};
+
+/// Routing latency of one query, in milliseconds.
+using RouteLatencyFn = std::function<double(const QueryPair&)>;
+
+/// Samples `count` (src != dst) pairs uniformly over active slots.
+std::vector<QueryPair> sample_query_pairs(const LogicalGraph& graph,
+                                          std::size_t count, Rng& rng);
+
+/// Mean of fn over the queries.
+double average_route_latency(std::span<const QueryPair> queries,
+                             const RouteLatencyFn& fn);
+
+/// Mean *direct* (physical shortest-path) latency over the queries —
+/// the paper's physical AL restricted to the sampled pairs.
+double average_direct_latency(const OverlayNetwork& net,
+                              std::span<const QueryPair> queries);
+
+struct StretchResult {
+  double logical_al = 0.0;   // mean routed latency
+  double physical_al = 0.0;  // mean direct latency
+  double stretch = 0.0;      // logical / physical
+};
+
+/// Stretch over the queries with the given router.
+StretchResult stretch(const OverlayNetwork& net,
+                      std::span<const QueryPair> queries,
+                      const RouteLatencyFn& fn);
+
+/// Unstructured-overlay lookup latencies: for each query, the idealized
+/// flood first-response latency (min-latency overlay path from source to
+/// destination, plus per-hop processing delay when provided). Queries
+/// are grouped by source so each source runs one Dijkstra.
+std::vector<double> unstructured_lookup_latencies(
+    const OverlayNetwork& net, std::span<const QueryPair> queries,
+    const std::vector<double>* processing_delay_ms = nullptr);
+
+/// Mean of unstructured_lookup_latencies.
+double average_unstructured_lookup_latency(
+    const OverlayNetwork& net, std::span<const QueryPair> queries,
+    const std::vector<double>* processing_delay_ms = nullptr);
+
+/// Router over a Chord ring under the overlay's current placement.
+RouteLatencyFn chord_router(const OverlayNetwork& net, const ChordRing& ring,
+                            const std::vector<double>* processing_delay_ms =
+                                nullptr);
+
+}  // namespace propsim

@@ -1,0 +1,65 @@
+#include "overlay/isomorphism.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace propsim {
+
+std::vector<HostEdge> host_edges(const LogicalGraph& graph,
+                                 const Placement& placement) {
+  std::vector<HostEdge> edges;
+  edges.reserve(graph.edge_count());
+  for (const SlotId s : graph.active_slots()) {
+    const NodeId hs = placement.host_of(s);
+    for (const SlotId v : graph.neighbors(s)) {
+      if (v > s) {
+        const NodeId hv = placement.host_of(v);
+        edges.emplace_back(std::min(hs, hv), std::max(hs, hv));
+      }
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+bool isomorphic_via(const std::vector<HostEdge>& before,
+                    const std::vector<HostEdge>& after,
+                    const std::vector<NodeId>& hosts,
+                    const std::vector<NodeId>& phi) {
+  PROPSIM_CHECK(hosts.size() == phi.size());
+  if (before.size() != after.size()) return false;
+  std::unordered_map<NodeId, NodeId> map;
+  map.reserve(hosts.size());
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    map.emplace(hosts[i], phi[i]);
+  }
+  std::vector<HostEdge> mapped;
+  mapped.reserve(before.size());
+  for (const HostEdge& e : before) {
+    const auto a = map.find(e.first);
+    const auto b = map.find(e.second);
+    if (a == map.end() || b == map.end()) return false;
+    mapped.emplace_back(std::min(a->second, b->second),
+                        std::max(a->second, b->second));
+  }
+  std::sort(mapped.begin(), mapped.end());
+  return mapped == after;
+}
+
+std::pair<std::vector<NodeId>, std::vector<NodeId>> placement_bijection(
+    const Placement& before, const Placement& after) {
+  PROPSIM_CHECK(before.slot_capacity() == after.slot_capacity());
+  std::vector<NodeId> hosts;
+  std::vector<NodeId> phi;
+  for (SlotId s = 0; s < before.slot_capacity(); ++s) {
+    if (!before.slot_bound(s)) continue;
+    PROPSIM_CHECK(after.slot_bound(s));
+    hosts.push_back(before.host_of(s));
+    phi.push_back(after.host_of(s));
+  }
+  return {std::move(hosts), std::move(phi)};
+}
+
+}  // namespace propsim

@@ -1,0 +1,37 @@
+// Host-level isomorphism certificates for Theorem 2.
+//
+// General graph isomorphism is hard, but PROP-G hands us the bijection for
+// free: it is the composition of the placements before and after the
+// exchanges. These helpers extract host-labelled edge sets and verify the
+// mapping in O(E log E).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "overlay/logical_graph.h"
+#include "overlay/placement.h"
+
+namespace propsim {
+
+using HostEdge = std::pair<NodeId, NodeId>;
+
+/// The overlay's edges labelled by the hosts currently occupying the slot
+/// endpoints, canonicalized (lo, hi) and sorted.
+std::vector<HostEdge> host_edges(const LogicalGraph& graph,
+                                 const Placement& placement);
+
+/// Verifies that phi (host -> host over `hosts`) maps edge set `before`
+/// exactly onto edge set `after`. phi is given as parallel arrays.
+bool isomorphic_via(const std::vector<HostEdge>& before,
+                    const std::vector<HostEdge>& after,
+                    const std::vector<NodeId>& hosts,
+                    const std::vector<NodeId>& phi);
+
+/// The canonical PROP-G bijection between two placements of the same
+/// logical graph: phi(h) = host occupying (after) the slot h occupied
+/// (before). Returns parallel (hosts, phi) arrays over bound hosts.
+std::pair<std::vector<NodeId>, std::vector<NodeId>> placement_bijection(
+    const Placement& before, const Placement& after);
+
+}  // namespace propsim

@@ -1,0 +1,82 @@
+// Mutable logical (application-level) overlay graph.
+//
+// Vertices are *slots* — positions in the overlay — kept distinct from the
+// physical hosts occupying them (see Placement). PROP-G permutes hosts
+// across slots without touching this graph; PROP-O and the LTM baseline
+// edit edges here.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+
+namespace propsim {
+
+using SlotId = std::uint32_t;
+constexpr SlotId kInvalidSlot = static_cast<SlotId>(-1);
+
+class LogicalGraph {
+ public:
+  LogicalGraph() = default;
+  explicit LogicalGraph(std::size_t slot_count)
+      : adjacency_(slot_count), active_(slot_count, true),
+        active_count_(slot_count) {}
+
+  std::size_t slot_count() const { return adjacency_.size(); }
+  std::size_t active_count() const { return active_count_; }
+  std::size_t edge_count() const { return edge_count_; }
+
+  bool is_active(SlotId s) const {
+    PROPSIM_DCHECK(s < active_.size());
+    return active_[s];
+  }
+
+  /// Adds a fresh, active, isolated slot.
+  SlotId add_slot();
+
+  /// Removes every incident edge and marks the slot inactive (a departed
+  /// peer). The id is never reused.
+  void deactivate_slot(SlotId s);
+
+  /// Re-marks an inactive slot active (a rejoining peer); it starts
+  /// isolated.
+  void reactivate_slot(SlotId s);
+
+  void add_edge(SlotId a, SlotId b);
+  /// Removes edge a—b; requires it to exist.
+  void remove_edge(SlotId a, SlotId b);
+  bool has_edge(SlotId a, SlotId b) const;
+
+  std::span<const SlotId> neighbors(SlotId s) const {
+    PROPSIM_DCHECK(s < adjacency_.size());
+    return adjacency_[s];
+  }
+
+  std::size_t degree(SlotId s) const { return neighbors(s).size(); }
+
+  /// Minimum degree over active slots (the paper's delta(G), the default
+  /// exchange size m for PROP-O).
+  std::size_t min_active_degree() const;
+  double average_active_degree() const;
+
+  /// True if all active slots are mutually reachable.
+  bool active_subgraph_connected() const;
+
+  /// Sorted degree multiset of active slots; invariant under PROP-O.
+  std::vector<std::size_t> degree_multiset() const;
+
+  /// Active slot ids in increasing order.
+  std::vector<SlotId> active_slots() const;
+
+ private:
+  void erase_directed(SlotId from, SlotId to);
+
+  std::vector<std::vector<SlotId>> adjacency_;
+  std::vector<bool> active_;
+  std::size_t active_count_ = 0;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace propsim

@@ -1,0 +1,126 @@
+#include "overlay/overlay_network.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/indexed_priority_queue.h"
+
+namespace propsim {
+
+OverlayNetwork::OverlayNetwork(LogicalGraph graph, Placement placement,
+                               const LatencyOracle& oracle)
+    : graph_(std::move(graph)),
+      placement_(std::move(placement)),
+      oracle_(&oracle),
+      traffic_(oracle.physical().node_count()) {
+  PROPSIM_CHECK(placement_.slot_capacity() >= graph_.slot_count());
+  PROPSIM_CHECK(placement_.host_capacity() ==
+                oracle.physical().node_count());
+}
+
+double OverlayNetwork::neighbor_latency_sum(SlotId s) const {
+  double sum = 0.0;
+  for (const SlotId v : graph_.neighbors(s)) sum += slot_latency(s, v);
+  return sum;
+}
+
+double OverlayNetwork::average_logical_link_latency() const {
+  PROPSIM_CHECK(graph_.edge_count() > 0);
+  double sum = 0.0;
+  for (const SlotId s : graph_.active_slots()) {
+    for (const SlotId v : graph_.neighbors(s)) {
+      if (v > s) sum += slot_latency(s, v);
+    }
+  }
+  return sum / static_cast<double>(graph_.edge_count());
+}
+
+std::optional<std::vector<SlotId>> OverlayNetwork::random_walk(
+    SlotId from, SlotId first_hop, std::size_t ttl, Rng& rng) const {
+  PROPSIM_CHECK(ttl >= 1);
+  PROPSIM_CHECK(graph_.is_active(from));
+  PROPSIM_CHECK(graph_.has_edge(from, first_hop));
+  std::vector<SlotId> path{from, first_hop};
+  path.reserve(ttl + 1);
+  std::vector<SlotId> candidates;
+  while (path.size() < ttl + 1) {
+    const SlotId here = path.back();
+    candidates.clear();
+    for (const SlotId v : graph_.neighbors(here)) {
+      // The paper's walk message carries visited identifiers to avoid
+      // repetitive forwarding.
+      if (std::find(path.begin(), path.end(), v) == path.end()) {
+        candidates.push_back(v);
+      }
+    }
+    if (candidates.empty()) return std::nullopt;
+    path.push_back(rng.pick(candidates));
+  }
+  return path;
+}
+
+std::vector<double> OverlayNetwork::flood_latencies(
+    SlotId source, const std::vector<double>* processing_delay_ms) const {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(graph_.slot_count(), kInf);
+  PROPSIM_CHECK(graph_.is_active(source));
+  if (processing_delay_ms != nullptr) {
+    PROPSIM_CHECK(processing_delay_ms->size() == graph_.slot_count());
+  }
+  IndexedPriorityQueue<double> queue(graph_.slot_count());
+  dist[source] = 0.0;
+  queue.push_or_update(source, 0.0);
+  while (!queue.empty()) {
+    const auto u = static_cast<SlotId>(queue.pop());
+    for (const SlotId v : graph_.neighbors(u)) {
+      double cost = slot_latency(u, v);
+      if (processing_delay_ms != nullptr) {
+        cost += (*processing_delay_ms)[v];
+      }
+      const double candidate = dist[u] + cost;
+      if (candidate < dist[v]) {
+        dist[v] = candidate;
+        queue.push_or_update(v, candidate);
+      }
+    }
+  }
+  return dist;
+}
+
+double path_latency(const OverlayNetwork& net, std::span<const SlotId> path,
+                    const std::vector<double>* processing_delay_ms) {
+  PROPSIM_CHECK(!path.empty());
+  double total = 0.0;
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    total += net.slot_latency(path[i - 1], path[i]);
+    if (processing_delay_ms != nullptr) {
+      total += (*processing_delay_ms)[path[i]];
+    }
+  }
+  return total;
+}
+
+std::vector<std::uint32_t> OverlayNetwork::hop_distances(
+    SlotId source, std::uint32_t max_hops) const {
+  constexpr auto kUnreached = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> dist(graph_.slot_count(), kUnreached);
+  PROPSIM_CHECK(graph_.is_active(source));
+  dist[source] = 0;
+  std::vector<SlotId> frontier{source};
+  std::vector<SlotId> next;
+  for (std::uint32_t hop = 1; hop <= max_hops && !frontier.empty(); ++hop) {
+    next.clear();
+    for (const SlotId u : frontier) {
+      for (const SlotId v : graph_.neighbors(u)) {
+        if (dist[v] == kUnreached) {
+          dist[v] = hop;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+}  // namespace propsim

@@ -1,0 +1,85 @@
+// OverlayNetwork: a logical graph, a placement binding slots to physical
+// hosts, and the physical latency oracle — everything a location-aware
+// protocol needs in one place.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "overlay/logical_graph.h"
+#include "overlay/placement.h"
+#include "sim/traffic.h"
+#include "topology/latency_oracle.h"
+
+namespace propsim {
+
+class OverlayNetwork {
+ public:
+  /// `oracle` must outlive the overlay.
+  OverlayNetwork(LogicalGraph graph, Placement placement,
+                 const LatencyOracle& oracle);
+
+  LogicalGraph& graph() { return graph_; }
+  const LogicalGraph& graph() const { return graph_; }
+  Placement& placement() { return placement_; }
+  const Placement& placement() const { return placement_; }
+  const LatencyOracle& oracle() const { return *oracle_; }
+  TrafficCounter& traffic() { return traffic_; }
+  const TrafficCounter& traffic() const { return traffic_; }
+
+  std::size_t size() const { return graph_.active_count(); }
+
+  /// Physical latency between the hosts occupying two slots (ms).
+  double slot_latency(SlotId a, SlotId b) const {
+    if (a == b) return 0.0;
+    return oracle_->latency(placement_.host_of(a), placement_.host_of(b));
+  }
+
+  /// Sum of physical latencies from slot s to each logical neighbor —
+  /// the per-node quantity the PROP Var formula is built from.
+  double neighbor_latency_sum(SlotId s) const;
+
+  /// Mean physical latency over all logical edges.
+  double average_logical_link_latency() const;
+
+  /// TTL-scoped random walk used by PROP to find an exchange counterpart.
+  /// path[0] == from, path[1] == first_hop, |path| == ttl + 1 unless the
+  /// walk gets stuck (dead end with no unvisited neighbor); walks avoid
+  /// revisiting nodes, mirroring the paper's repeated-forwarding guard.
+  /// Returns nullopt when the walk cannot reach the requested depth.
+  std::optional<std::vector<SlotId>> random_walk(SlotId from, SlotId first_hop,
+                                                 std::size_t ttl,
+                                                 Rng& rng) const;
+
+  /// Weighted single-source shortest latency over *logical* edges (each
+  /// edge costs the physical latency between the slot hosts, plus the
+  /// receiving slot's processing delay when provided). This is the
+  /// first-response latency of an idealized flood, and the routing
+  /// latency oracle for unstructured lookups. Inactive/unreachable slots
+  /// get +infinity.
+  std::vector<double> flood_latencies(
+      SlotId source,
+      const std::vector<double>* processing_delay_ms = nullptr) const;
+
+  /// Hop-count BFS distances over logical edges, capped at max_hops
+  /// (entries beyond the cap are UINT32_MAX).
+  std::vector<std::uint32_t> hop_distances(SlotId source,
+                                           std::uint32_t max_hops) const;
+
+ private:
+  LogicalGraph graph_;
+  Placement placement_;
+  const LatencyOracle* oracle_;
+  TrafficCounter traffic_;
+};
+
+/// Total latency of a hop-by-hop route under the current placement (sum
+/// of the physical latencies of consecutive hops, plus the per-slot
+/// processing delay of every hop receiver when provided).
+double path_latency(const OverlayNetwork& net, std::span<const SlotId> path,
+                    const std::vector<double>* processing_delay_ms = nullptr);
+
+}  // namespace propsim

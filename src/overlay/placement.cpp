@@ -1,0 +1,63 @@
+#include "overlay/placement.h"
+
+namespace propsim {
+
+void Placement::bind(SlotId s, NodeId h) {
+  PROPSIM_CHECK(s < host_of_.size());
+  PROPSIM_CHECK(h < slot_of_.size());
+  PROPSIM_CHECK(!slot_bound(s));
+  PROPSIM_CHECK(!host_bound(h));
+  host_of_[s] = h;
+  slot_of_[h] = s;
+  ++bound_count_;
+}
+
+void Placement::unbind(SlotId s) {
+  PROPSIM_CHECK(s < host_of_.size());
+  PROPSIM_CHECK(slot_bound(s));
+  slot_of_[host_of_[s]] = kInvalidSlot;
+  host_of_[s] = kInvalidNode;
+  PROPSIM_CHECK(bound_count_ > 0);
+  --bound_count_;
+}
+
+void Placement::swap_slots(SlotId a, SlotId b) {
+  PROPSIM_CHECK(a != b);
+  PROPSIM_CHECK(slot_bound(a) && slot_bound(b));
+  const NodeId ha = host_of_[a];
+  const NodeId hb = host_of_[b];
+  host_of_[a] = hb;
+  host_of_[b] = ha;
+  slot_of_[ha] = b;
+  slot_of_[hb] = a;
+}
+
+std::vector<NodeId> Placement::bound_hosts() const {
+  std::vector<NodeId> hosts;
+  hosts.reserve(bound_count_);
+  for (const NodeId h : host_of_) {
+    if (h != kInvalidNode) hosts.push_back(h);
+  }
+  return hosts;
+}
+
+bool Placement::validate() const {
+  std::size_t bound = 0;
+  for (std::size_t s = 0; s < host_of_.size(); ++s) {
+    const NodeId h = host_of_[s];
+    if (h == kInvalidNode) continue;
+    ++bound;
+    if (h >= slot_of_.size()) return false;
+    if (slot_of_[h] != static_cast<SlotId>(s)) return false;
+  }
+  if (bound != bound_count_) return false;
+  for (std::size_t h = 0; h < slot_of_.size(); ++h) {
+    const SlotId s = slot_of_[h];
+    if (s == kInvalidSlot) continue;
+    if (s >= host_of_.size()) return false;
+    if (host_of_[s] != static_cast<NodeId>(h)) return false;
+  }
+  return true;
+}
+
+}  // namespace propsim

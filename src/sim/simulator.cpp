@@ -1,0 +1,56 @@
+#include "sim/simulator.h"
+
+namespace propsim {
+
+EventId Simulator::schedule_at(double when, Callback fn) {
+  PROPSIM_CHECK(when >= now_);
+  PROPSIM_CHECK(fn != nullptr);
+  const EventId id = next_id_++;
+  queue_.push(Entry{when, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool Simulator::cancel(EventId id) {
+  // The heap entry stays behind as a tombstone and is skipped on pop.
+  return callbacks_.erase(id) > 0;
+}
+
+bool Simulator::peek_next(Entry& out) {
+  while (!queue_.empty()) {
+    const Entry top = queue_.top();
+    if (callbacks_.contains(top.id)) {
+      out = top;
+      return true;
+    }
+    queue_.pop();  // cancelled tombstone
+  }
+  return false;
+}
+
+bool Simulator::step() {
+  Entry entry;
+  if (!peek_next(entry)) return false;
+  queue_.pop();
+  auto node = callbacks_.extract(entry.id);
+  now_ = entry.time;
+  ++executed_;
+  node.mapped()();
+  return true;
+}
+
+void Simulator::run_until(double t_end) {
+  PROPSIM_CHECK(t_end >= now_);
+  Entry entry;
+  while (peek_next(entry) && entry.time <= t_end) {
+    step();
+  }
+  now_ = t_end;
+}
+
+void Simulator::run_all() {
+  while (step()) {
+  }
+}
+
+}  // namespace propsim

@@ -1,0 +1,72 @@
+// Minimal discrete-event simulator.
+//
+// Protocol actions (probes, exchanges, churn arrivals) are callbacks
+// scheduled on a simulated clock measured in seconds. Events at equal times
+// fire in scheduling order (a strict total order keeps runs deterministic).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+
+namespace propsim {
+
+using EventId = std::uint64_t;
+constexpr EventId kInvalidEvent = 0;
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  double now() const { return now_; }
+  std::size_t pending_events() const { return callbacks_.size(); }
+  std::uint64_t executed_events() const { return executed_; }
+
+  /// Schedules `fn` to run `delay` seconds from now (delay >= 0).
+  EventId schedule_in(double delay, Callback fn) {
+    PROPSIM_CHECK(delay >= 0.0);
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Schedules `fn` at absolute time `when` (>= now).
+  EventId schedule_at(double when, Callback fn);
+
+  /// Cancels a pending event; returns false if it already ran or was
+  /// cancelled before.
+  bool cancel(EventId id);
+
+  /// Runs events until the queue empties or the clock passes `t_end`;
+  /// afterwards now() == max(now, t_end).
+  void run_until(double t_end);
+
+  /// Runs every pending event (the event set must be finite).
+  void run_all();
+
+  /// Executes the single earliest event; returns false if none pending.
+  bool step();
+
+ private:
+  struct Entry {
+    double time;
+    EventId id;  // doubles as a tie-breaking sequence number
+    bool operator>(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return id > other.id;
+    }
+  };
+
+  /// Pops heap entries until one with a live callback surfaces.
+  bool peek_next(Entry& out);
+
+  double now_ = 0.0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unordered_map<EventId, Callback> callbacks_;
+};
+
+}  // namespace propsim

@@ -1,0 +1,13 @@
+#include "sim/traffic.h"
+
+#include <algorithm>
+
+namespace propsim {
+
+void TrafficCounter::reset() {
+  std::fill(per_node_.begin(), per_node_.end(), 0);
+  std::fill(per_kind_.begin(), per_kind_.end(), 0);
+  total_ = 0;
+}
+
+}  // namespace propsim

@@ -1,0 +1,56 @@
+// Per-node protocol traffic accounting.
+//
+// The paper's Section 4.3 argues PROP-O's per-adjustment overhead is
+// (nhops + 2m) messages versus PROP-G's (nhops + 2c); these counters are
+// how the bench for that table measures rather than asserts it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "topology/graph.h"
+
+namespace propsim {
+
+enum class MessageKind : std::uint8_t {
+  kWalk,          // TTL random-walk hop locating an exchange counterpart
+  kProbe,         // latency probe to a (hypothetical) neighbor
+  kExchangeCtrl,  // exchange negotiation / routing-entry rewrite
+  kNotify,        // neighbor notification after an exchange
+  kLookup,        // application-level lookup hop
+  kCount
+};
+
+class TrafficCounter {
+ public:
+  explicit TrafficCounter(std::size_t node_count)
+      : per_node_(node_count, 0),
+        per_kind_(static_cast<std::size_t>(MessageKind::kCount), 0) {}
+
+  void count(NodeId sender, MessageKind kind, std::uint64_t messages = 1) {
+    PROPSIM_DCHECK(sender < per_node_.size());
+    per_node_[sender] += messages;
+    per_kind_[static_cast<std::size_t>(kind)] += messages;
+    total_ += messages;
+  }
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t by_node(NodeId n) const { return per_node_[n]; }
+  std::uint64_t by_kind(MessageKind kind) const {
+    return per_kind_[static_cast<std::size_t>(kind)];
+  }
+  /// Everything except application lookups: the protocol's own cost.
+  std::uint64_t control_total() const {
+    return total_ - by_kind(MessageKind::kLookup);
+  }
+
+  void reset();
+
+ private:
+  std::vector<std::uint64_t> per_node_;
+  std::vector<std::uint64_t> per_kind_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace propsim

@@ -1,0 +1,96 @@
+// Tapestry DHT over overlay slots (Zhao et al., JSAC 2004; routing after
+// Plaxton/Rajaraman/Richa).
+//
+// Like Pastry, Tapestry routes by resolving one hexadecimal digit of the
+// key per hop through per-level neighbor tables; unlike Pastry there are
+// no leaf sets — when the exact next-digit class is empty, deterministic
+// *surrogate routing* substitutes the next non-empty digit (scanning
+// upward mod 16), so every key maps to a unique root node that any
+// source reaches. Tapestry's defining locality feature — each table
+// entry is the physically closest eligible node — is available through
+// apply_proximity().
+//
+// As with the other DHTs, identifiers live on *slots*: PROP-G's
+// identifier exchange is a placement swap.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/hex_id.h"
+#include "common/rng.h"
+#include "overlay/logical_graph.h"
+#include "overlay/overlay_network.h"
+#include "topology/latency_oracle.h"
+
+namespace propsim {
+
+using TapestryId = std::uint64_t;
+
+struct TapestryConfig {
+  /// Redundant entries kept per (level, digit) cell; the first is the
+  /// primary route, the rest are fault-tolerance backups that also
+  /// widen the logical neighbor set PROP operates on.
+  std::size_t entries_per_cell = 1;
+};
+
+class TapestryNetwork {
+ public:
+  static TapestryNetwork build_random(std::size_t slot_count,
+                                      const TapestryConfig& config, Rng& rng);
+  static TapestryNetwork build_with_ids(std::vector<TapestryId> ids,
+                                        const TapestryConfig& config);
+
+  std::size_t size() const { return ids_.size(); }
+  TapestryId id_of(SlotId s) const { return ids_[s]; }
+
+  /// The unique root of `key` under surrogate routing: the digits of
+  /// key are resolved one level at a time against the live prefix tree,
+  /// each empty class replaced by the next non-empty digit upward
+  /// (mod 16). Independent of any source node.
+  SlotId root_of(TapestryId key) const;
+
+  /// Primary table entry for (level, digit); kInvalidSlot when the
+  /// class is empty. (Entry shares exactly `level` digits with s and
+  /// has `digit` at that position.)
+  SlotId table_entry(SlotId s, std::size_t level, std::size_t digit) const;
+
+  /// All entries of a cell (primary first).
+  std::span<const SlotId> cell(SlotId s, std::size_t level,
+                               std::size_t digit) const;
+
+  /// Routes from `source` toward `key`: at most one hop per level,
+  /// ending at root_of(key).
+  std::vector<SlotId> lookup_path(SlotId source, TapestryId key) const;
+
+  /// Union of all table entries as an undirected logical graph.
+  LogicalGraph to_logical_graph() const;
+
+  /// Refills every cell with the physically closest eligible nodes —
+  /// Tapestry's published neighbor-selection rule.
+  void apply_proximity(std::span<const NodeId> hosts,
+                       const LatencyOracle& oracle);
+
+  const TapestryConfig& config() const { return config_; }
+
+ private:
+  TapestryNetwork(std::vector<TapestryId> ids, const TapestryConfig& config);
+
+  void rebuild_tables();
+  std::size_t cell_index(std::size_t level, std::size_t digit) const {
+    return level * kHexBase + digit;
+  }
+
+  TapestryConfig config_;
+  std::vector<TapestryId> ids_;
+  /// tables_[s][level*16+digit] = up to entries_per_cell slots.
+  std::vector<std::vector<std::vector<SlotId>>> tables_;
+};
+
+/// OverlayNetwork over a Tapestry mesh: slot i bound to hosts[i].
+OverlayNetwork make_tapestry_overlay(const TapestryNetwork& tapestry,
+                                     std::span<const NodeId> hosts,
+                                     const LatencyOracle& oracle);
+
+}  // namespace propsim

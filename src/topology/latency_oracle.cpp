@@ -1,0 +1,74 @@
+#include "topology/latency_oracle.h"
+
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "topology/shortest_path.h"
+
+namespace propsim {
+
+LatencyOracle::LatencyOracle(const Graph& physical)
+    : physical_(physical), cache_(physical.node_count()) {}
+
+std::span<const double> LatencyOracle::distances_from(NodeId source) const {
+  PROPSIM_CHECK(source < physical_.node_count());
+  auto& row = cache_[source];
+  if (!row) {
+    row = std::make_unique<std::vector<double>>(dijkstra(physical_, source));
+  }
+  return *row;
+}
+
+double LatencyOracle::latency(NodeId a, NodeId b) const {
+  if (a == b) return 0.0;
+  // Prefer whichever row is already cached to avoid duplicating work.
+  if (cache_[b] && !cache_[a]) return (*cache_[b])[a];
+  return distances_from(a)[b];
+}
+
+double LatencyOracle::average_pairwise_latency(
+    std::span<const NodeId> hosts) const {
+  PROPSIM_CHECK(!hosts.empty());
+  double sum = 0.0;
+  for (const NodeId a : hosts) {
+    const auto row = distances_from(a);
+    for (const NodeId b : hosts) sum += row[b];
+  }
+  const auto n = static_cast<double>(hosts.size());
+  return sum / (n * n);
+}
+
+double LatencyOracle::average_physical_link_latency() const {
+  PROPSIM_CHECK(physical_.edge_count() > 0);
+  return physical_.total_edge_weight() /
+         static_cast<double>(physical_.edge_count());
+}
+
+void LatencyOracle::warm(std::span<const NodeId> sources,
+                         ThreadPool& pool) const {
+  // Deduplicate and drop already-cached rows so each task owns a
+  // distinct cache slot (no synchronization needed).
+  std::vector<NodeId> todo;
+  std::vector<bool> seen(physical_.node_count(), false);
+  for (const NodeId s : sources) {
+    PROPSIM_CHECK(s < physical_.node_count());
+    if (!seen[s] && !cache_[s]) {
+      seen[s] = true;
+      todo.push_back(s);
+    }
+  }
+  pool.parallel_for(todo.size(), [&](std::size_t i) {
+    cache_[todo[i]] =
+        std::make_unique<std::vector<double>>(dijkstra(physical_, todo[i]));
+  });
+}
+
+std::size_t LatencyOracle::cached_sources() const {
+  std::size_t count = 0;
+  for (const auto& row : cache_) {
+    if (row) ++count;
+  }
+  return count;
+}
+
+}  // namespace propsim

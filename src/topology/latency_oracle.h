@@ -1,0 +1,55 @@
+// Cached shortest-path latency oracle over the physical network.
+//
+// Protocols and metrics ask for d(host_a, host_b) millions of times; the
+// oracle lazily runs one Dijkstra per distinct source host and caches the
+// full distance vector, so each source costs O(E log V) exactly once.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "topology/graph.h"
+
+namespace propsim {
+
+class ThreadPool;
+
+class LatencyOracle {
+ public:
+  /// The oracle keeps a reference to `physical`; the graph must outlive it.
+  explicit LatencyOracle(const Graph& physical);
+
+  const Graph& physical() const { return physical_; }
+
+  /// Shortest-path latency between two physical hosts, in milliseconds.
+  double latency(NodeId a, NodeId b) const;
+
+  /// Full distance vector from `source` (cached).
+  std::span<const double> distances_from(NodeId source) const;
+
+  /// Mean latency over all unordered pairs of `hosts` (self-pairs count as
+  /// zero, matching the paper's AL definition over n^2 ordered pairs).
+  double average_pairwise_latency(std::span<const NodeId> hosts) const;
+
+  /// Mean latency over the physical graph's direct links; the denominator
+  /// of the paper's stretch metric.
+  double average_physical_link_latency() const;
+
+  std::size_t cached_sources() const;
+
+  /// Precomputes the distance rows of `sources` in parallel. The oracle
+  /// is NOT thread-safe for concurrent lazy queries; warming up-front
+  /// from one thread (with the pool doing the Dijkstras into disjoint
+  /// rows) is the supported way to parallelize, after which reads are
+  /// pure lookups.
+  void warm(std::span<const NodeId> sources, ThreadPool& pool) const;
+
+ private:
+  const Graph& physical_;
+  // Lazily filled per-source rows; mutable because caching is not an
+  // observable state change.
+  mutable std::vector<std::unique_ptr<std::vector<double>>> cache_;
+};
+
+}  // namespace propsim

@@ -1,0 +1,111 @@
+#include "topology/random_graphs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace propsim {
+
+Graph make_connected_random_graph(std::size_t node_count,
+                                  std::size_t edge_count, double weight,
+                                  Rng& rng) {
+  PROPSIM_CHECK(node_count >= 1);
+  Graph g(node_count);
+  if (node_count == 1) return g;
+
+  std::vector<NodeId> order(node_count);
+  std::iota(order.begin(), order.end(), NodeId{0});
+  rng.shuffle(order);
+  for (std::size_t i = 1; i < node_count; ++i) {
+    const std::size_t j = static_cast<std::size_t>(rng.uniform(i));
+    g.add_edge(order[i], order[j], weight);
+  }
+
+  const std::size_t max_edges = node_count * (node_count - 1) / 2;
+  const std::size_t target = std::min(edge_count, max_edges);
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 50 * (target + node_count);
+  while (g.edge_count() < target && attempts < max_attempts) {
+    ++attempts;
+    const NodeId u = static_cast<NodeId>(rng.uniform(node_count));
+    NodeId v = static_cast<NodeId>(rng.uniform(node_count - 1));
+    if (v >= u) ++v;
+    if (!g.has_edge(u, v)) g.add_edge(u, v, weight);
+  }
+  return g;
+}
+
+Graph make_waxman_graph(std::size_t node_count, double alpha, double beta,
+                        double latency_scale, double min_latency, Rng& rng) {
+  PROPSIM_CHECK(node_count >= 1);
+  PROPSIM_CHECK(alpha > 0.0 && beta > 0.0 && beta <= 1.0);
+  Graph g(node_count);
+  std::vector<double> x(node_count);
+  std::vector<double> y(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    x[i] = rng.uniform_double();
+    y[i] = rng.uniform_double();
+  }
+  const double max_dist = std::sqrt(2.0);
+  auto latency = [&](std::size_t i, std::size_t j) {
+    const double dx = x[i] - x[j];
+    const double dy = y[i] - y[j];
+    const double d = std::sqrt(dx * dx + dy * dy);
+    return std::max(min_latency, d * latency_scale);
+  };
+  for (std::size_t i = 0; i < node_count; ++i) {
+    for (std::size_t j = i + 1; j < node_count; ++j) {
+      const double dx = x[i] - x[j];
+      const double dy = y[i] - y[j];
+      const double d = std::sqrt(dx * dx + dy * dy);
+      const double p = beta * std::exp(-d / (alpha * max_dist));
+      if (rng.bernoulli(p)) {
+        g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j),
+                   latency(i, j));
+      }
+    }
+  }
+  // Stitch components together: connect each later component root to a
+  // uniformly chosen node of the growing connected part.
+  std::vector<NodeId> component(node_count, kInvalidNode);
+  std::vector<NodeId> stack;
+  std::vector<NodeId> roots;
+  for (NodeId s = 0; s < node_count; ++s) {
+    if (component[s] != kInvalidNode) continue;
+    roots.push_back(s);
+    stack.push_back(s);
+    component[s] = s;
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      for (const Graph::Edge& e : g.neighbors(u)) {
+        if (component[e.to] == kInvalidNode) {
+          component[e.to] = s;
+          stack.push_back(e.to);
+        }
+      }
+    }
+  }
+  for (std::size_t r = 1; r < roots.size(); ++r) {
+    NodeId target;
+    do {
+      target = static_cast<NodeId>(rng.uniform(node_count));
+    } while (component[target] == roots[r]);
+    g.add_edge(roots[r], target, latency(roots[r], target));
+  }
+  PROPSIM_CHECK(g.is_connected());
+  return g;
+}
+
+Graph make_ring_graph(std::size_t node_count, double weight) {
+  PROPSIM_CHECK(node_count >= 3);
+  Graph g(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    g.add_edge(static_cast<NodeId>(i),
+               static_cast<NodeId>((i + 1) % node_count), weight);
+  }
+  return g;
+}
+
+}  // namespace propsim

@@ -1,0 +1,29 @@
+// Auxiliary random-graph generators (used for tests, baselines and as
+// alternative underlays to sanity-check that PROP's gains are not an
+// artifact of the transit-stub structure).
+#pragma once
+
+#include "common/rng.h"
+#include "topology/graph.h"
+
+namespace propsim {
+
+/// Connected Erdos-Renyi-style graph: random spanning tree plus extra
+/// uniformly random edges until reaching `edge_count` total edges (clamped
+/// to the complete-graph maximum). All edges get `weight`.
+Graph make_connected_random_graph(std::size_t node_count,
+                                  std::size_t edge_count, double weight,
+                                  Rng& rng);
+
+/// Waxman random geometric graph on the unit square, made connected by a
+/// spanning tree over nearest unconnected components. Edge weight is
+/// euclidean distance scaled by `latency_scale` (ms per unit length),
+/// with a floor of `min_latency`.
+Graph make_waxman_graph(std::size_t node_count, double alpha, double beta,
+                        double latency_scale, double min_latency, Rng& rng);
+
+/// Ring of `node_count` nodes with constant `weight`; smallest useful
+/// connected topology for unit tests.
+Graph make_ring_graph(std::size_t node_count, double weight);
+
+}  // namespace propsim

@@ -1,0 +1,27 @@
+// Single-source shortest paths over the physical graph.
+#pragma once
+
+#include <vector>
+
+#include "topology/graph.h"
+
+namespace propsim {
+
+/// Dijkstra from `source`; result[i] is the latency of the shortest path
+/// source -> i, or +infinity if unreachable.
+std::vector<double> dijkstra(const Graph& g, NodeId source);
+
+/// As above but also returns the predecessor of each node on its shortest
+/// path (kInvalidNode for the source and unreachable nodes).
+struct ShortestPathTree {
+  std::vector<double> distance;
+  std::vector<NodeId> parent;
+};
+ShortestPathTree dijkstra_tree(const Graph& g, NodeId source);
+
+/// Reconstructs the node sequence source -> ... -> target from a tree;
+/// empty if target is unreachable.
+std::vector<NodeId> extract_path(const ShortestPathTree& tree, NodeId source,
+                                 NodeId target);
+
+}  // namespace propsim

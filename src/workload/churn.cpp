@@ -1,0 +1,195 @@
+#include "workload/churn.h"
+
+#include <algorithm>
+
+namespace propsim {
+
+ChurnProcess::ChurnProcess(OverlayNetwork& net, Simulator& sim,
+                           PropEngine* engine,
+                           const GnutellaConfig& overlay_config,
+                           const ChurnParams& params,
+                           std::vector<NodeId> spares, std::uint64_t seed)
+    : net_(net),
+      sim_(sim),
+      engine_(engine),
+      overlay_config_(overlay_config),
+      params_(params),
+      spares_(std::move(spares)),
+      rng_(seed) {
+  PROPSIM_CHECK(params_.end_s >= params_.start_s);
+}
+
+void ChurnProcess::start() {
+  if (params_.join_rate_per_s > 0.0) {
+    sim_.schedule_at(
+        params_.start_s +
+            rng_.exponential(1.0 / params_.join_rate_per_s),
+        [this] {
+          do_join();
+          schedule_join();
+        });
+  }
+  if (params_.leave_rate_per_s > 0.0) {
+    sim_.schedule_at(
+        params_.start_s +
+            rng_.exponential(1.0 / params_.leave_rate_per_s),
+        [this] {
+          do_leave();
+          schedule_leave();
+        });
+  }
+  if (params_.fail_rate_per_s > 0.0) {
+    sim_.schedule_at(
+        params_.start_s + rng_.exponential(1.0 / params_.fail_rate_per_s),
+        [this] {
+          do_fail();
+          schedule_fail();
+        });
+  }
+}
+
+void ChurnProcess::schedule_fail() {
+  const double next =
+      sim_.now() + rng_.exponential(1.0 / params_.fail_rate_per_s);
+  if (next > params_.end_s) return;
+  sim_.schedule_at(next, [this] {
+    do_fail();
+    schedule_fail();
+  });
+}
+
+void ChurnProcess::schedule_join() {
+  const double next =
+      sim_.now() + rng_.exponential(1.0 / params_.join_rate_per_s);
+  if (next > params_.end_s) return;
+  sim_.schedule_at(next, [this] {
+    do_join();
+    schedule_join();
+  });
+}
+
+void ChurnProcess::schedule_leave() {
+  const double next =
+      sim_.now() + rng_.exponential(1.0 / params_.leave_rate_per_s);
+  if (next > params_.end_s) return;
+  sim_.schedule_at(next, [this] {
+    do_leave();
+    schedule_leave();
+  });
+}
+
+bool ChurnProcess::do_join() {
+  if (spares_.empty()) return false;
+  const NodeId host = spares_.back();
+  spares_.pop_back();
+  const SlotId joiner = gnutella_join(net_, overlay_config_, host, rng_);
+  if (engine_ != nullptr) {
+    const auto neigh = net_.graph().neighbors(joiner);
+    engine_->node_joined(joiner,
+                         std::vector<SlotId>(neigh.begin(), neigh.end()));
+  }
+  ++joins_;
+  return true;
+}
+
+bool ChurnProcess::do_leave() {
+  const auto actives = net_.graph().active_slots();
+  if (actives.size() <= params_.min_population) return false;
+  // Uniformly random departure, retried a few times if the victim is a
+  // cut vertex whose removal would partition the overlay (real peers can
+  // vanish arbitrarily, but the paper's protocols assume the overlay's
+  // own repair keeps it connected; retrying models that repair without
+  // building a full join-stabilization pipeline — see DESIGN.md).
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const SlotId victim =
+        actives[static_cast<std::size_t>(rng_.uniform(actives.size()))];
+    const auto neigh = net_.graph().neighbors(victim);
+    const std::vector<SlotId> former(neigh.begin(), neigh.end());
+    net_.graph().deactivate_slot(victim);
+    if (!net_.graph().active_subgraph_connected()) {
+      // Roll back: reconnect exactly as before.
+      net_.graph().reactivate_slot(victim);
+      for (const SlotId nb : former) net_.graph().add_edge(victim, nb);
+      continue;
+    }
+    if (engine_ != nullptr) engine_->node_left(victim, former);
+    spares_.push_back(net_.placement().host_of(victim));
+    net_.placement().unbind(victim);
+    ++leaves_;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace propsim
+
+namespace propsim {
+
+void ChurnProcess::add_repair_edge(SlotId a, SlotId b) {
+  net_.graph().add_edge(a, b);
+  ++repair_links_;
+  if (engine_ != nullptr) engine_->edge_added(a, b);
+}
+
+bool ChurnProcess::do_fail() {
+  const auto actives = net_.graph().active_slots();
+  if (actives.size() <= params_.min_population) return false;
+  const SlotId victim =
+      actives[static_cast<std::size_t>(rng_.uniform(actives.size()))];
+  const auto neigh = net_.graph().neighbors(victim);
+  const std::vector<SlotId> former(neigh.begin(), neigh.end());
+
+  // The crash itself: no handoff, edges just vanish.
+  net_.graph().deactivate_slot(victim);
+  if (engine_ != nullptr) engine_->node_left(victim, former);
+  spares_.push_back(net_.placement().host_of(victim));
+  net_.placement().unbind(victim);
+  ++failures_;
+
+  // Survivor repair, as deployed unstructured peers do on keepalive
+  // timeout: every orphaned neighbor below the attach floor re-dials a
+  // random peer it is not yet connected to.
+  const auto pool = net_.graph().active_slots();
+  for (const SlotId orphan : former) {
+    std::size_t attempts = 0;
+    while (net_.graph().degree(orphan) < overlay_config_.attach_links &&
+           attempts < 64) {
+      ++attempts;
+      const SlotId peer =
+          pool[static_cast<std::size_t>(rng_.uniform(pool.size()))];
+      if (peer == orphan || net_.graph().has_edge(orphan, peer)) continue;
+      add_repair_edge(orphan, peer);
+    }
+  }
+
+  // Random re-dials almost always restore connectivity; when they do
+  // not (the victim was a cut vertex toward a small component), stitch
+  // each stray component back deterministically.
+  if (!net_.graph().active_subgraph_connected()) {
+    std::vector<SlotId> component(net_.graph().slot_count(), kInvalidSlot);
+    std::vector<SlotId> stack;
+    std::vector<SlotId> roots;
+    for (const SlotId s : pool) {
+      if (component[s] != kInvalidSlot) continue;
+      roots.push_back(s);
+      stack.push_back(s);
+      component[s] = s;
+      while (!stack.empty()) {
+        const SlotId u = stack.back();
+        stack.pop_back();
+        for (const SlotId v : net_.graph().neighbors(u)) {
+          if (component[v] == kInvalidSlot) {
+            component[v] = s;
+            stack.push_back(v);
+          }
+        }
+      }
+    }
+    for (std::size_t r = 1; r < roots.size(); ++r) {
+      add_repair_edge(roots[r], roots[0]);
+    }
+  }
+  return true;
+}
+
+}  // namespace propsim

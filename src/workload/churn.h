@@ -1,0 +1,78 @@
+// Poisson churn over an unstructured overlay.
+//
+// Joins draw a spare physical host, attach via the Gnutella rule and
+// notify the PROP engine; leaves deactivate a random slot and return its
+// host to the spare pool. The paper's dynamics claim — probing frequency
+// spikes and re-quiesces — is driven by this process.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/prop_engine.h"
+#include "gnutella/gnutella.h"
+#include "overlay/overlay_network.h"
+#include "sim/simulator.h"
+
+namespace propsim {
+
+struct ChurnParams {
+  /// Mean joins (and, independently, leaves) per second.
+  double join_rate_per_s = 0.1;
+  double leave_rate_per_s = 0.1;
+  /// Mean sudden crashes per second (no graceful handoff; survivors
+  /// repair the overlay like real Gnutella peers re-dialing).
+  double fail_rate_per_s = 0.0;
+  double start_s = 0.0;
+  double end_s = 0.0;
+  /// Leaves/failures are refused when the overlay would drop below this
+  /// size.
+  std::size_t min_population = 8;
+};
+
+class ChurnProcess {
+ public:
+  /// `engine` may be null (churn without PROP, for baselines). `spares`
+  /// seeds the pool of joinable hosts; departed peers' hosts are reused.
+  ChurnProcess(OverlayNetwork& net, Simulator& sim, PropEngine* engine,
+               const GnutellaConfig& overlay_config,
+               const ChurnParams& params, std::vector<NodeId> spares,
+               std::uint64_t seed);
+
+  /// Schedules the first join and leave arrivals.
+  void start();
+
+  std::uint64_t joins() const { return joins_; }
+  std::uint64_t leaves() const { return leaves_; }
+  std::uint64_t failures() const { return failures_; }
+  std::uint64_t repair_links() const { return repair_links_; }
+
+  /// One forced join/leave/crash (tests).
+  bool do_join();
+  bool do_leave();
+  /// Sudden failure: the victim vanishes with no handoff; its former
+  /// neighbors re-dial replacement links (degree floor restored, and
+  /// any partition reconnected), mirroring Gnutella's keepalive repair.
+  bool do_fail();
+
+ private:
+  void schedule_join();
+  void schedule_leave();
+  void schedule_fail();
+  void add_repair_edge(SlotId a, SlotId b);
+
+  OverlayNetwork& net_;
+  Simulator& sim_;
+  PropEngine* engine_;
+  GnutellaConfig overlay_config_;
+  ChurnParams params_;
+  std::vector<NodeId> spares_;
+  Rng rng_;
+  std::uint64_t joins_ = 0;
+  std::uint64_t leaves_ = 0;
+  std::uint64_t failures_ = 0;
+  std::uint64_t repair_links_ = 0;
+};
+
+}  // namespace propsim

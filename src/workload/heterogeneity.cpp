@@ -1,0 +1,114 @@
+#include "workload/heterogeneity.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace propsim {
+namespace {
+
+BimodalDelays init_all_slow(const OverlayNetwork& net,
+                            const BimodalConfig& config) {
+  BimodalDelays out;
+  const std::size_t hosts = net.oracle().physical().node_count();
+  out.host_delay_ms.assign(hosts, config.slow_delay_ms);
+  out.host_fast.assign(hosts, false);
+  return out;
+}
+
+void mark_fast(BimodalDelays& delays, NodeId host,
+               const BimodalConfig& config) {
+  if (delays.host_fast[host]) return;
+  delays.host_fast[host] = true;
+  delays.host_delay_ms[host] = config.fast_delay_ms;
+  ++delays.fast_count;
+}
+
+}  // namespace
+
+std::vector<double> BimodalDelays::slot_delays(
+    const OverlayNetwork& net) const {
+  std::vector<double> out(net.graph().slot_count(), 0.0);
+  // Unbound slots keep a slow default so the vector is always usable.
+  double slow = 0.0;
+  for (std::size_t h = 0; h < host_delay_ms.size(); ++h) {
+    if (!host_fast[h]) {
+      slow = host_delay_ms[h];
+      break;
+    }
+  }
+  for (SlotId s = 0; s < out.size(); ++s) {
+    out[s] = net.placement().slot_bound(s)
+                 ? host_delay_ms[net.placement().host_of(s)]
+                 : slow;
+  }
+  return out;
+}
+
+std::vector<bool> BimodalDelays::slot_fast(const OverlayNetwork& net) const {
+  std::vector<bool> out(net.graph().slot_count(), false);
+  for (SlotId s = 0; s < out.size(); ++s) {
+    if (net.placement().slot_bound(s)) {
+      out[s] = host_fast[net.placement().host_of(s)];
+    }
+  }
+  return out;
+}
+
+BimodalDelays make_bimodal_delays(const OverlayNetwork& net,
+                                  const BimodalConfig& config, Rng& rng) {
+  PROPSIM_CHECK(config.fast_fraction > 0.0 && config.fast_fraction < 1.0);
+  const auto hosts = net.placement().bound_hosts();
+  PROPSIM_CHECK(hosts.size() >= 2);
+  BimodalDelays out = init_all_slow(net, config);
+  for (const NodeId h : hosts) {
+    if (rng.bernoulli(config.fast_fraction)) mark_fast(out, h, config);
+  }
+  // Degenerate draws would make the biased-lookup sweep meaningless.
+  if (out.fast_count == 0) {
+    mark_fast(out, hosts.front(), config);
+  } else if (out.fast_count == hosts.size()) {
+    out.host_fast[hosts.front()] = false;
+    out.host_delay_ms[hosts.front()] = config.slow_delay_ms;
+    --out.fast_count;
+  }
+  return out;
+}
+
+BimodalDelays make_bimodal_delays_by_degree(const OverlayNetwork& net,
+                                            const BimodalConfig& config,
+                                            Rng& rng) {
+  PROPSIM_CHECK(config.fast_fraction > 0.0 && config.fast_fraction < 1.0);
+  const LogicalGraph& graph = net.graph();
+  PROPSIM_CHECK(graph.active_count() >= 2);
+  const auto slots = graph.active_slots();
+
+  // Sort active slots by degree descending; random tiebreak spreads the
+  // fast set across equal-degree peers.
+  struct Keyed {
+    SlotId slot;
+    std::size_t degree;
+    std::uint64_t tiebreak;
+  };
+  std::vector<Keyed> keyed;
+  keyed.reserve(slots.size());
+  for (const SlotId s : slots) {
+    keyed.push_back(Keyed{s, graph.degree(s), rng.next()});
+  }
+  std::sort(keyed.begin(), keyed.end(), [](const Keyed& a, const Keyed& b) {
+    if (a.degree != b.degree) return a.degree > b.degree;
+    return a.tiebreak < b.tiebreak;
+  });
+
+  std::size_t fast_count = static_cast<std::size_t>(
+      config.fast_fraction * static_cast<double>(slots.size()));
+  fast_count = std::clamp<std::size_t>(fast_count, 1, slots.size() - 1);
+
+  BimodalDelays out = init_all_slow(net, config);
+  for (std::size_t i = 0; i < fast_count; ++i) {
+    mark_fast(out, net.placement().host_of(keyed[i].slot), config);
+  }
+  return out;
+}
+
+}  // namespace propsim

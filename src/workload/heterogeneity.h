@@ -1,0 +1,52 @@
+// Node heterogeneity: the bimodal processing-delay model of the paper's
+// Section 5.3 (fast nodes vs slow nodes, after Dabek et al.).
+//
+// Capability is a property of the physical peer (host), not of its
+// overlay position: when PROP-G swaps two peers' positions, each keeps
+// its own processing speed. Delays are therefore stored per host and
+// materialized into per-slot vectors under the overlay's *current*
+// placement right before each measurement.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "overlay/overlay_network.h"
+
+namespace propsim {
+
+struct BimodalConfig {
+  double fast_fraction = 0.2;
+  double fast_delay_ms = 10.0;
+  double slow_delay_ms = 100.0;
+};
+
+struct BimodalDelays {
+  /// Indexed by physical host id; hosts outside the overlay are slow.
+  std::vector<double> host_delay_ms;
+  std::vector<bool> host_fast;
+  std::size_t fast_count = 0;
+
+  /// Per-slot processing delays under the overlay's current placement
+  /// (inactive/unbound slots get the slow delay).
+  std::vector<double> slot_delays(const OverlayNetwork& net) const;
+  /// Per-slot fast flags under the current placement.
+  std::vector<bool> slot_fast(const OverlayNetwork& net) const;
+};
+
+/// I.i.d. assignment over the overlay's bound hosts with the configured
+/// fraction (coerced to at least one host of each kind).
+BimodalDelays make_bimodal_delays(const OverlayNetwork& net,
+                                  const BimodalConfig& config, Rng& rng);
+
+/// Degree-correlated assignment: the hosts occupying the top
+/// fast_fraction of active slots *by overlay degree* are fast (ties
+/// broken randomly). This is the paper's model — "powerful, reliable
+/// nodes always provide more services and inherently have more
+/// connections" — and is what makes degree preservation (PROP-O) matter
+/// in the Figure 7 experiment.
+BimodalDelays make_bimodal_delays_by_degree(const OverlayNetwork& net,
+                                            const BimodalConfig& config,
+                                            Rng& rng);
+
+}  // namespace propsim

@@ -1,0 +1,48 @@
+#include "workload/host_selection.h"
+
+namespace propsim {
+
+std::vector<NodeId> select_stub_hosts(const TransitStubTopology& topo,
+                                      std::size_t count, Rng& rng) {
+  PROPSIM_CHECK(count <= topo.stub_nodes.size());
+  const auto indices = rng.sample_indices(topo.stub_nodes.size(), count);
+  std::vector<NodeId> hosts;
+  hosts.reserve(count);
+  for (const std::size_t i : indices) hosts.push_back(topo.stub_nodes[i]);
+  return hosts;
+}
+
+std::pair<std::vector<NodeId>, std::vector<NodeId>>
+select_stub_hosts_with_spares(const TransitStubTopology& topo,
+                              std::size_t count, std::size_t spare_count,
+                              Rng& rng) {
+  PROPSIM_CHECK(count + spare_count <= topo.stub_nodes.size());
+  const auto indices =
+      rng.sample_indices(topo.stub_nodes.size(), count + spare_count);
+  std::vector<NodeId> hosts;
+  std::vector<NodeId> spares;
+  hosts.reserve(count);
+  spares.reserve(spare_count);
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    if (k < count) {
+      hosts.push_back(topo.stub_nodes[indices[k]]);
+    } else {
+      spares.push_back(topo.stub_nodes[indices[k]]);
+    }
+  }
+  return {std::move(hosts), std::move(spares)};
+}
+
+std::vector<NodeId> select_landmarks(const TransitStubTopology& topo,
+                                     std::size_t count, Rng& rng) {
+  PROPSIM_CHECK(count <= topo.transit_nodes.size());
+  const auto indices = rng.sample_indices(topo.transit_nodes.size(), count);
+  std::vector<NodeId> landmarks;
+  landmarks.reserve(count);
+  for (const std::size_t i : indices) {
+    landmarks.push_back(topo.transit_nodes[i]);
+  }
+  return landmarks;
+}
+
+}  // namespace propsim

@@ -1,0 +1,31 @@
+// Overlay host selection from the physical topology.
+//
+// The paper selects overlay peers from the generated physical network;
+// end systems live in stub domains, so selection defaults to stub nodes.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "topology/transit_stub.h"
+
+namespace propsim {
+
+/// `count` distinct stub hosts drawn uniformly (count <= stub node
+/// count).
+std::vector<NodeId> select_stub_hosts(const TransitStubTopology& topo,
+                                      std::size_t count, Rng& rng);
+
+/// As above, but also returns `spare_count` additional distinct stub
+/// hosts for churn joins. First vector has `count` entries, second has
+/// `spare_count`.
+std::pair<std::vector<NodeId>, std::vector<NodeId>> select_stub_hosts_with_spares(
+    const TransitStubTopology& topo, std::size_t count,
+    std::size_t spare_count, Rng& rng);
+
+/// Uniformly chosen transit hosts to serve as PIS landmarks.
+std::vector<NodeId> select_landmarks(const TransitStubTopology& topo,
+                                     std::size_t count, Rng& rng);
+
+}  // namespace propsim

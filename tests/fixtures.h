@@ -1,0 +1,61 @@
+// Shared small fixtures for propsim tests: a miniature transit-stub
+// physical network and overlay builders sized so suites stay fast.
+#pragma once
+
+#include "common/rng.h"
+#include "gnutella/gnutella.h"
+#include "overlay/overlay_network.h"
+#include "topology/latency_oracle.h"
+#include "topology/transit_stub.h"
+
+namespace propsim::testing {
+
+/// 2 transit domains x 2 transit nodes x 2 stub domains x 12 stub nodes
+/// = 4 + 96 = 100 physical nodes.
+inline TransitStubConfig tiny_transit_stub_config() {
+  TransitStubConfig c;
+  c.transit_domains = 2;
+  c.transit_nodes_per_domain = 2;
+  c.stub_domains_per_transit = 2;
+  c.nodes_per_stub = 12;
+  c.stub_edge_probability = 0.15;
+  c.extra_interdomain_edges = 1;
+  return c;
+}
+
+/// Bundles a physical topology, its oracle and an unstructured overlay
+/// over `overlay_n` stub hosts; everything seeded for reproducibility.
+struct UnstructuredFixture {
+  TransitStubTopology topo;
+  LatencyOracle oracle;
+  OverlayNetwork net;
+
+  static UnstructuredFixture make(std::size_t overlay_n, std::uint64_t seed,
+                                  std::size_t attach_links = 3) {
+    Rng rng(seed);
+    TransitStubTopology topo = make_transit_stub(tiny_transit_stub_config(),
+                                                 rng);
+    return UnstructuredFixture(std::move(topo), overlay_n, rng, attach_links);
+  }
+
+ private:
+  UnstructuredFixture(TransitStubTopology t, std::size_t overlay_n, Rng& rng,
+                      std::size_t attach_links)
+      : topo(std::move(t)),
+        oracle(topo.graph),
+        net(build_overlay(overlay_n, rng, attach_links)) {}
+
+  OverlayNetwork build_overlay(std::size_t overlay_n, Rng& rng,
+                               std::size_t attach_links) {
+    const auto indices =
+        rng.sample_indices(topo.stub_nodes.size(), overlay_n);
+    std::vector<NodeId> hosts;
+    hosts.reserve(overlay_n);
+    for (const std::size_t i : indices) hosts.push_back(topo.stub_nodes[i]);
+    GnutellaConfig cfg;
+    cfg.attach_links = attach_links;
+    return build_gnutella_overlay(cfg, hosts, oracle, rng);
+  }
+};
+
+}  // namespace propsim::testing

@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include "app/experiment.h"
+#include "app/sweep.h"
+#include "common/config.h"
+
+namespace propsim {
+namespace {
+
+// ------------------------------------------------------------ Config ----
+
+TEST(Config, ParsesKeysCommentsAndBlanks) {
+  const Config c = Config::parse(
+      "# header comment\n"
+      "overlay = chord\n"
+      "\n"
+      "nodes=500   # trailing comment\n"
+      "  horizon  =  1800.5  \n");
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.get_string("overlay", ""), "chord");
+  EXPECT_EQ(c.get_int("nodes", 0), 500);
+  EXPECT_DOUBLE_EQ(c.get_double("horizon", 0.0), 1800.5);
+}
+
+TEST(Config, LaterAssignmentsWin) {
+  const Config c = Config::parse("x = 1\nx = 2\n");
+  EXPECT_EQ(c.get_int("x", 0), 2);
+}
+
+TEST(Config, FallbacksApply) {
+  const Config c = Config::parse("");
+  EXPECT_EQ(c.get_string("missing", "dflt"), "dflt");
+  EXPECT_EQ(c.get_int("missing", 7), 7);
+  EXPECT_TRUE(c.get_bool("missing", true));
+  EXPECT_FALSE(c.has("missing"));
+}
+
+TEST(Config, BooleanSpellings) {
+  const Config c = Config::parse(
+      "a = true\nb = FALSE\nc = 1\nd = off\ne = Yes\n");
+  EXPECT_TRUE(c.get_bool("a", false));
+  EXPECT_FALSE(c.get_bool("b", true));
+  EXPECT_TRUE(c.get_bool("c", false));
+  EXPECT_FALSE(c.get_bool("d", true));
+  EXPECT_TRUE(c.get_bool("e", false));
+}
+
+TEST(Config, SetOverrides) {
+  Config c = Config::parse("x = 1\n");
+  c.set("x", "5");
+  c.set("y", "hello");
+  EXPECT_EQ(c.get_int("x", 0), 5);
+  EXPECT_EQ(c.get_string("y", ""), "hello");
+}
+
+// ---------------------------------------------------- ExperimentSpec ----
+
+TEST(ExperimentSpec, DefaultsAreThePaperDefaults) {
+  const auto spec = ExperimentSpec::from_config(Config::parse(""));
+  EXPECT_EQ(spec.overlay, ExperimentSpec::Overlay::kGnutella);
+  EXPECT_EQ(spec.protocol, ExperimentSpec::Protocol::kPropG);
+  EXPECT_EQ(spec.nodes, 1000u);
+  EXPECT_EQ(spec.prop.nhops, 2u);
+  EXPECT_DOUBLE_EQ(spec.prop.init_timer_s, 60.0);
+  EXPECT_EQ(spec.prop.max_init_trial, 10u);
+  EXPECT_DOUBLE_EQ(spec.prop.min_var, 0.0);
+}
+
+TEST(ExperimentSpec, ParsesFullSpec) {
+  const auto spec = ExperimentSpec::from_config(Config::parse(
+      "topology = ts-small\noverlay = chord\nprotocol = prop-g\n"
+      "nodes = 300\nseed = 7\nhorizon = 100\nsample_interval = 10\n"
+      "queries = 500\nnhops = 4\n"));
+  EXPECT_EQ(spec.topology, ExperimentSpec::Topology::kTsSmall);
+  EXPECT_EQ(spec.overlay, ExperimentSpec::Overlay::kChord);
+  EXPECT_EQ(spec.nodes, 300u);
+  EXPECT_EQ(spec.seed, 7u);
+  EXPECT_EQ(spec.prop.nhops, 4u);
+}
+
+using ExperimentSpecDeath = ExperimentSpec;
+
+TEST(ExperimentSpecDeathTest, RejectsLtmOnStructuredOverlay) {
+  EXPECT_DEATH(ExperimentSpec::from_config(
+                   Config::parse("overlay = chord\nprotocol = ltm\n")),
+               "check failed");
+}
+
+TEST(ExperimentSpecDeathTest, RejectsPropOOnStructuredOverlay) {
+  EXPECT_DEATH(ExperimentSpec::from_config(
+                   Config::parse("overlay = pastry\nprotocol = prop-o\n")),
+               "check failed");
+}
+
+TEST(ExperimentSpecDeathTest, RejectsChurnOnStructuredOverlay) {
+  EXPECT_DEATH(
+      ExperimentSpec::from_config(Config::parse(
+          "overlay = can\nchurn_join_rate = 0.1\nchurn_leave_rate = 0.1\n")),
+      "check failed");
+}
+
+TEST(ExperimentSpecDeathTest, RejectsBiasWithoutHeterogeneity) {
+  EXPECT_DEATH(ExperimentSpec::from_config(
+                   Config::parse("fraction_fast_dest = 0.5\n")),
+               "check failed");
+}
+
+// --------------------------------------------------------------- sweep ----
+
+TEST(Sweep, SplitCommas) {
+  EXPECT_EQ(split_commas("a,b,c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split_commas("solo"), (std::vector<std::string>{"solo"}));
+  EXPECT_EQ(split_commas("x,"), (std::vector<std::string>{"x", ""}));
+}
+
+TEST(Sweep, ParseAxis) {
+  const SweepAxis axis = parse_sweep_axis("sweep:nodes=100,200,400");
+  EXPECT_EQ(axis.key, "nodes");
+  EXPECT_EQ(axis.values,
+            (std::vector<std::string>{"100", "200", "400"}));
+}
+
+TEST(SweepDeathTest, RejectsMalformedAxes) {
+  EXPECT_DEATH(parse_sweep_axis("sweep:no-equals"), "check failed");
+  EXPECT_DEATH(parse_sweep_axis("sweep:=v"), "check failed");
+  EXPECT_DEATH(parse_sweep_axis("sweep:k=a,,b"), "check failed");
+}
+
+TEST(Sweep, ExpandCartesianProduct) {
+  Config base = Config::parse("nodes = 64\n");
+  const std::vector<SweepAxis> axes{
+      {"protocol", {"prop-g", "ltm"}},
+      {"nhops", {"1", "2", "4"}},
+  };
+  const auto combos = expand_sweep(base, axes);
+  ASSERT_EQ(combos.size(), 6u);
+  EXPECT_EQ(combos[0].label, "protocol=prop-g nhops=1");
+  EXPECT_EQ(combos[5].label, "protocol=ltm nhops=4");
+  // Base keys survive; axis keys are overridden per combo.
+  EXPECT_EQ(combos[3].config.get_int("nodes", 0), 64);
+  EXPECT_EQ(combos[3].config.get_string("protocol", ""), "ltm");
+  EXPECT_EQ(combos[3].config.get_string("nhops", ""), "1");
+}
+
+TEST(Sweep, NoAxesYieldsBase) {
+  const auto combos = expand_sweep(Config::parse("x = 1\n"), {});
+  ASSERT_EQ(combos.size(), 1u);
+  EXPECT_EQ(combos[0].label, "(base)");
+  EXPECT_EQ(combos[0].config.get_int("x", 0), 1);
+}
+
+// ------------------------------------------------------ run_experiment ----
+
+Config small_base(const std::string& extra) {
+  return Config::parse("nodes = 64\nhorizon = 400\nsample_interval = 100\n"
+                       "queries = 300\ninit_timer = 10\n" +
+                       extra);
+}
+
+TEST(RunExperiment, GnutellaPropGImproves) {
+  const auto spec = ExperimentSpec::from_config(small_base(""));
+  const auto result = run_experiment(spec);
+  EXPECT_EQ(result.metric_name, "lookup_ms");
+  EXPECT_LT(result.final_value, result.initial_value);
+  EXPECT_GT(result.exchanges, 0u);
+  EXPECT_TRUE(result.connected);
+  EXPECT_EQ(result.final_population, 64u);
+  EXPECT_EQ(result.series.size(), 5u);
+}
+
+TEST(RunExperiment, ChordStretchImproves) {
+  const auto spec =
+      ExperimentSpec::from_config(small_base("overlay = chord\n"));
+  const auto result = run_experiment(spec);
+  EXPECT_EQ(result.metric_name, "stretch");
+  EXPECT_GT(result.initial_value, 1.0);
+  EXPECT_LT(result.final_value, result.initial_value);
+}
+
+TEST(RunExperiment, PastryTapestryAndCanRun) {
+  for (const std::string overlay : {"pastry", "tapestry", "can"}) {
+    const auto spec = ExperimentSpec::from_config(
+        small_base("overlay = " + overlay + "\n"));
+    const auto result = run_experiment(spec);
+    EXPECT_GT(result.initial_value, 1.0) << overlay;
+    EXPECT_LE(result.final_value, result.initial_value) << overlay;
+  }
+}
+
+TEST(RunExperiment, ProtocolNoneIsFlat) {
+  const auto spec =
+      ExperimentSpec::from_config(small_base("protocol = none\n"));
+  const auto result = run_experiment(spec);
+  EXPECT_DOUBLE_EQ(result.final_value, result.initial_value);
+  EXPECT_EQ(result.exchanges, 0u);
+}
+
+TEST(RunExperiment, LtmRunsOnGnutella) {
+  const auto spec =
+      ExperimentSpec::from_config(small_base("protocol = ltm\n"));
+  const auto result = run_experiment(spec);
+  EXPECT_GT(result.ltm_rounds, 0u);
+  EXPECT_LT(result.final_value, result.initial_value);
+}
+
+TEST(RunExperiment, ChurnKeepsRunning) {
+  const auto spec = ExperimentSpec::from_config(small_base(
+      "churn_join_rate = 0.05\nchurn_leave_rate = 0.05\n"
+      "churn_fail_rate = 0.02\nchurn_start = 50\nchurn_end = 300\n"));
+  const auto result = run_experiment(spec);
+  EXPECT_TRUE(result.connected);
+  EXPECT_GT(result.churn_joins + result.churn_leaves + result.churn_failures,
+            0u);
+}
+
+TEST(RunExperiment, HeterogeneityBiasedWorkload) {
+  const auto spec = ExperimentSpec::from_config(small_base(
+      "protocol = prop-o\nheterogeneity = bimodal-degree\n"
+      "fraction_fast_dest = 0.9\n"));
+  const auto result = run_experiment(spec);
+  EXPECT_LT(result.final_value, result.initial_value);
+}
+
+TEST(RunExperiment, DeterministicForSeed) {
+  const auto spec = ExperimentSpec::from_config(small_base("seed = 99\n"));
+  const auto a = run_experiment(spec);
+  const auto b = run_experiment(spec);
+  EXPECT_DOUBLE_EQ(a.final_value, b.final_value);
+  EXPECT_EQ(a.exchanges, b.exchanges);
+}
+
+TEST(RunExperiment, EventDrivenLookupTraffic) {
+  const auto spec = ExperimentSpec::from_config(
+      small_base("lookup_rate = 4\n"));
+  const auto result = run_experiment(spec);
+  EXPECT_GT(result.lookups_issued, 800u);
+  EXPECT_EQ(result.lookups_unreachable, 0u);
+  EXPECT_GT(result.observed.size(), 0u);
+  EXPECT_GE(result.observed_p95_ms, result.observed_p50_ms);
+  // What users experienced improved along with the snapshot metric.
+  EXPECT_LT(result.observed.last_value(), result.observed.first_value());
+}
+
+TEST(RunExperiment, MessageDelaysAndSelectionKeys) {
+  const auto spec = ExperimentSpec::from_config(small_base(
+      "protocol = prop-o\nmodel_message_delays = true\n"
+      "selection = random\n"));
+  EXPECT_TRUE(spec.prop.model_message_delays);
+  EXPECT_EQ(spec.prop.selection, SelectionPolicy::kRandom);
+  const auto result = run_experiment(spec);
+  EXPECT_LT(result.final_value, result.initial_value);
+}
+
+TEST(RunExperiment, ChordLookupTrafficUsesRouting) {
+  const auto spec = ExperimentSpec::from_config(
+      small_base("overlay = chord\nlookup_rate = 4\n"));
+  const auto result = run_experiment(spec);
+  EXPECT_GT(result.lookups_issued, 0u);
+  EXPECT_EQ(result.lookups_unreachable, 0u);
+  EXPECT_GT(result.observed_p50_ms, 0.0);
+}
+
+TEST(RunExperiment, WaxmanTopologyWorks) {
+  const auto spec = ExperimentSpec::from_config(
+      small_base("topology = waxman\nnodes = 48\n"));
+  const auto result = run_experiment(spec);
+  EXPECT_LT(result.final_value, result.initial_value);
+}
+
+}  // namespace
+}  // namespace propsim

@@ -1,0 +1,290 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/exchange.h"
+#include "fixtures.h"
+#include "overlay/isomorphism.h"
+
+namespace propsim {
+namespace {
+
+using testing::UnstructuredFixture;
+
+// Draws a random (u, v, path) probe outcome like the engine would.
+struct Probe {
+  SlotId u;
+  SlotId v;
+  std::vector<SlotId> path;
+};
+
+std::optional<Probe> random_probe(const OverlayNetwork& net, std::size_t nhops,
+                                  Rng& rng) {
+  const auto slots = net.graph().active_slots();
+  const SlotId u = slots[static_cast<std::size_t>(rng.uniform(slots.size()))];
+  const auto neigh = net.graph().neighbors(u);
+  if (neigh.empty()) return std::nullopt;
+  const SlotId first =
+      neigh[static_cast<std::size_t>(rng.uniform(neigh.size()))];
+  auto walk = net.random_walk(u, first, nhops, rng);
+  if (!walk.has_value()) return std::nullopt;
+  return Probe{u, walk->back(), std::move(*walk)};
+}
+
+// ----------------------------------------------------------- PROP-G ----
+
+TEST(PropG, VarMatchesMeasuredGain) {
+  auto fx = UnstructuredFixture::make(40, 2001);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const auto probe = random_probe(fx.net, 2, rng);
+    if (!probe) continue;
+    const auto plan = plan_prop_g(fx.net, probe->u, probe->v);
+    EXPECT_NEAR(plan.var, measured_gain(fx.net, plan), 1e-9);
+  }
+}
+
+TEST(PropG, VarIsSymmetric) {
+  auto fx = UnstructuredFixture::make(30, 2002);
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    const auto probe = random_probe(fx.net, 2, rng);
+    if (!probe) continue;
+    EXPECT_NEAR(prop_g_var(fx.net, probe->u, probe->v),
+                prop_g_var(fx.net, probe->v, probe->u), 1e-9);
+  }
+}
+
+TEST(PropG, SwapOfAdjacentSlotsHandled) {
+  auto fx = UnstructuredFixture::make(30, 2003);
+  // Find an adjacent pair.
+  SlotId u = kInvalidSlot, v = kInvalidSlot;
+  for (const SlotId s : fx.net.graph().active_slots()) {
+    if (fx.net.graph().degree(s) > 0) {
+      u = s;
+      v = fx.net.graph().neighbors(s)[0];
+      break;
+    }
+  }
+  ASSERT_NE(u, kInvalidSlot);
+  const auto plan = plan_prop_g(fx.net, u, v);
+  EXPECT_NEAR(plan.var, measured_gain(fx.net, plan), 1e-9);
+}
+
+TEST(PropG, ApplyLeavesLogicalGraphUntouched) {
+  auto fx = UnstructuredFixture::make(40, 2004);
+  const auto degrees_before = fx.net.graph().degree_multiset();
+  const std::size_t edges_before = fx.net.graph().edge_count();
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const auto probe = random_probe(fx.net, 2, rng);
+    if (!probe) continue;
+    apply_exchange(fx.net, plan_prop_g(fx.net, probe->u, probe->v));
+  }
+  EXPECT_EQ(fx.net.graph().degree_multiset(), degrees_before);
+  EXPECT_EQ(fx.net.graph().edge_count(), edges_before);
+  EXPECT_TRUE(fx.net.placement().validate());
+}
+
+// Theorem 2: the host-labelled overlay stays isomorphic to the original
+// under any sequence of PROP-G exchanges.
+TEST(PropG, Theorem2IsomorphismUnderExchangeSequences) {
+  auto fx = UnstructuredFixture::make(50, 2005);
+  const auto edges_before = host_edges(fx.net.graph(), fx.net.placement());
+  const Placement placement_before = fx.net.placement();
+  Rng rng(4);
+  int applied = 0;
+  for (int i = 0; i < 200 && applied < 60; ++i) {
+    const auto probe = random_probe(fx.net, 2, rng);
+    if (!probe) continue;
+    apply_exchange(fx.net, plan_prop_g(fx.net, probe->u, probe->v));
+    ++applied;
+  }
+  ASSERT_GT(applied, 10);
+  const auto edges_after = host_edges(fx.net.graph(), fx.net.placement());
+  const auto [hosts, phi] =
+      placement_bijection(placement_before, fx.net.placement());
+  EXPECT_TRUE(isomorphic_via(edges_before, edges_after, hosts, phi));
+}
+
+// Theorem 1 for PROP-G (trivially: graph untouched, but assert anyway).
+TEST(PropG, Theorem1ConnectivityPersistence) {
+  auto fx = UnstructuredFixture::make(40, 2006);
+  Rng rng(5);
+  for (int i = 0; i < 80; ++i) {
+    const auto probe = random_probe(fx.net, 3, rng);
+    if (!probe) continue;
+    apply_exchange(fx.net, plan_prop_g(fx.net, probe->u, probe->v));
+    ASSERT_TRUE(fx.net.graph().active_subgraph_connected());
+  }
+}
+
+// ----------------------------------------------------------- PROP-O ----
+
+class PropOSelection : public ::testing::TestWithParam<SelectionPolicy> {};
+
+TEST_P(PropOSelection, VarMatchesMeasuredGain) {
+  auto fx = UnstructuredFixture::make(40, 2007);
+  Rng rng(6);
+  for (int i = 0; i < 150; ++i) {
+    const auto probe = random_probe(fx.net, 2, rng);
+    if (!probe) continue;
+    const auto plan = plan_prop_o(fx.net, probe->u, probe->v, probe->path, 2,
+                                  GetParam(), rng);
+    if (!plan) continue;
+    EXPECT_NEAR(plan->var, measured_gain(fx.net, *plan), 1e-9);
+  }
+}
+
+TEST_P(PropOSelection, TransferSetsRespectConstraints) {
+  auto fx = UnstructuredFixture::make(40, 2008);
+  Rng rng(7);
+  int checked = 0;
+  for (int i = 0; i < 200 && checked < 80; ++i) {
+    const auto probe = random_probe(fx.net, 2, rng);
+    if (!probe) continue;
+    const auto plan = plan_prop_o(fx.net, probe->u, probe->v, probe->path, 3,
+                                  GetParam(), rng);
+    if (!plan) continue;
+    ++checked;
+    EXPECT_EQ(plan->from_u.size(), plan->from_v.size());
+    EXPECT_GE(plan->from_u.size(), 1u);
+    EXPECT_LE(plan->from_u.size(), 3u);
+    for (const SlotId a : plan->from_u) {
+      EXPECT_TRUE(fx.net.graph().has_edge(probe->u, a));
+      EXPECT_FALSE(fx.net.graph().has_edge(probe->v, a));
+      EXPECT_EQ(std::find(probe->path.begin(), probe->path.end(), a),
+                probe->path.end());
+    }
+    for (const SlotId b : plan->from_v) {
+      EXPECT_TRUE(fx.net.graph().has_edge(probe->v, b));
+      EXPECT_FALSE(fx.net.graph().has_edge(probe->u, b));
+      EXPECT_EQ(std::find(probe->path.begin(), probe->path.end(), b),
+                probe->path.end());
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+// Degree preservation: PROP-O's defining invariant.
+TEST_P(PropOSelection, DegreeMultisetInvariant) {
+  auto fx = UnstructuredFixture::make(50, 2009);
+  const auto degrees_before = fx.net.graph().degree_multiset();
+  // Per-slot degrees must also be unchanged (stronger than the multiset).
+  std::vector<std::size_t> per_slot;
+  for (const SlotId s : fx.net.graph().active_slots()) {
+    per_slot.push_back(fx.net.graph().degree(s));
+  }
+  Rng rng(8);
+  int applied = 0;
+  for (int i = 0; i < 300 && applied < 80; ++i) {
+    const auto probe = random_probe(fx.net, 2, rng);
+    if (!probe) continue;
+    const auto plan = plan_prop_o(fx.net, probe->u, probe->v, probe->path, 2,
+                                  GetParam(), rng);
+    if (!plan) continue;
+    apply_exchange(fx.net, *plan);
+    ++applied;
+  }
+  ASSERT_GT(applied, 10);
+  EXPECT_EQ(fx.net.graph().degree_multiset(), degrees_before);
+  std::size_t idx = 0;
+  for (const SlotId s : fx.net.graph().active_slots()) {
+    EXPECT_EQ(fx.net.graph().degree(s), per_slot[idx++]);
+  }
+}
+
+// Theorem 1: connectivity persists through arbitrary PROP-O sequences.
+TEST_P(PropOSelection, Theorem1ConnectivityPersistence) {
+  auto fx = UnstructuredFixture::make(50, 2010);
+  Rng rng(9);
+  int applied = 0;
+  for (int i = 0; i < 400 && applied < 120; ++i) {
+    const auto probe = random_probe(fx.net, 2, rng);
+    if (!probe) continue;
+    const auto plan = plan_prop_o(fx.net, probe->u, probe->v, probe->path, 4,
+                                  GetParam(), rng);
+    if (!plan) continue;
+    apply_exchange(fx.net, *plan);
+    ASSERT_TRUE(fx.net.graph().active_subgraph_connected())
+        << "partition after exchange " << applied;
+    ++applied;
+  }
+  ASSERT_GT(applied, 20);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, PropOSelection,
+                         ::testing::Values(SelectionPolicy::kGreedy,
+                                           SelectionPolicy::kRandom),
+                         [](const auto& info) {
+                           return info.param == SelectionPolicy::kGreedy
+                                      ? "Greedy"
+                                      : "Random";
+                         });
+
+TEST(PropO, GreedySelectionMaximizesVarVersusRandom) {
+  auto fx = UnstructuredFixture::make(50, 2011);
+  Rng rng(10);
+  double greedy_sum = 0.0;
+  double random_sum = 0.0;
+  int count = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto probe = random_probe(fx.net, 2, rng);
+    if (!probe) continue;
+    const auto g = plan_prop_o(fx.net, probe->u, probe->v, probe->path, 2,
+                               SelectionPolicy::kGreedy, rng);
+    const auto r = plan_prop_o(fx.net, probe->u, probe->v, probe->path, 2,
+                               SelectionPolicy::kRandom, rng);
+    if (!g || !r) continue;
+    greedy_sum += g->var;
+    random_sum += r->var;
+    // Greedy picks the max-gain subsets, so per-probe it dominates.
+    EXPECT_GE(g->var, r->var - 1e-9);
+    ++count;
+  }
+  ASSERT_GT(count, 50);
+  EXPECT_GT(greedy_sum, random_sum);
+}
+
+TEST(PropO, NoTransferableNeighborsYieldsNullopt) {
+  // Overlay: path graph 0-1-2; probing u=0 -> v=2 via path {0,1,2}:
+  // u's only neighbor (1) is on the path, so no plan exists.
+  Graph phys(3);
+  phys.add_edge(0, 1, 1.0);
+  phys.add_edge(1, 2, 1.0);
+  LatencyOracle oracle(phys);
+  LogicalGraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  Placement p(3, 3);
+  for (SlotId s = 0; s < 3; ++s) p.bind(s, s);
+  OverlayNetwork net(std::move(g), std::move(p), oracle);
+  Rng rng(11);
+  const std::vector<SlotId> path{0, 1, 2};
+  EXPECT_FALSE(
+      plan_prop_o(net, 0, 2, path, 2, SelectionPolicy::kGreedy, rng)
+          .has_value());
+}
+
+TEST(PropO, PositiveVarExchangeReducesGlobalLinkLatency) {
+  auto fx = UnstructuredFixture::make(60, 2012);
+  Rng rng(12);
+  for (int i = 0; i < 200; ++i) {
+    const auto probe = random_probe(fx.net, 2, rng);
+    if (!probe) continue;
+    const auto plan = plan_prop_o(fx.net, probe->u, probe->v, probe->path, 2,
+                                  SelectionPolicy::kGreedy, rng);
+    if (!plan || plan->var <= 0.0) continue;
+    const double before = fx.net.average_logical_link_latency();
+    apply_exchange(fx.net, *plan);
+    const double after = fx.net.average_logical_link_latency();
+    // Each moved edge (u,a)->(v,a) changes the edge-latency sum by
+    // d(v,a)-d(u,a); summed over both disjoint transfer sets that is
+    // exactly -var, so positive Var strictly lowers the global mean.
+    EXPECT_LT(after, before);
+  }
+}
+
+}  // namespace
+}  // namespace propsim

@@ -1,0 +1,154 @@
+// propsim_cli — run a config-driven overlay-optimization experiment.
+//
+//   propsim_cli experiment.conf [key=value ...]
+//   propsim_cli key=value [key=value ...]
+//
+// Config keys are documented in src/app/experiment.h; command-line
+// key=value pairs override file values. Prints a summary and the metric
+// time series as CSV.
+//
+// Example:
+//   propsim_cli overlay=chord protocol=prop-g nodes=500 horizon=1800
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "app/experiment.h"
+#include "common/json.h"
+#include "common/timeseries.h"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [config-file] [key=value ...]\n"
+      "\n"
+      "key reference (defaults in parentheses):\n"
+      "  topology   ts-large|ts-small|waxman   (ts-large)\n"
+      "  overlay    gnutella|chord|pastry|can  (gnutella)\n"
+      "  protocol   none|prop-g|prop-o|ltm     (prop-g)\n"
+      "  nodes (1000)  seed (20070901)  horizon (3600 s)\n"
+      "  sample_interval (horizon/15)  queries (10000)\n"
+      "  nhops (2)  m (0 = min degree)  min_var (0)\n"
+      "  init_timer (60 s)  max_init_trial (10)  random_target (false)\n"
+      "  heterogeneity none|bimodal|bimodal-degree (none)\n"
+      "  fast_fraction (0.2) fast_delay_ms (10) slow_delay_ms (100)\n"
+      "  fraction_fast_dest (-1 = uniform workload)\n"
+      "  churn_join_rate / churn_leave_rate / churn_fail_rate (0 /s)\n"
+      "  churn_start (0) churn_end (horizon)\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace propsim;
+
+  Config config;
+  bool json_output = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    }
+    if (arg == "--json") {
+      json_output = true;
+      continue;
+    }
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      config.set(arg.substr(0, eq), arg.substr(eq + 1));
+    } else {
+      // A config file; later files/overrides win.
+      const Config file = Config::load_file(arg);
+      for (const auto& [key, value] : file.values()) {
+        config.set(key, value);
+      }
+    }
+  }
+
+  const ExperimentSpec spec = ExperimentSpec::from_config(config);
+  if (json_output) {
+    const ExperimentResult result = run_experiment(spec);
+    Json out = Json::object();
+    out.set("overlay", config.get_string("overlay", "gnutella"));
+    out.set("protocol", config.get_string("protocol", "prop-g"));
+    out.set("nodes", static_cast<std::uint64_t>(spec.nodes));
+    out.set("seed", static_cast<std::uint64_t>(spec.seed));
+    out.set("horizon_s", spec.horizon_s);
+    out.set("metric", result.metric_name);
+    out.set("initial", result.initial_value);
+    out.set("final", result.final_value);
+    out.set("exchanges", result.exchanges);
+    out.set("attempts", result.attempts);
+    out.set("commit_conflicts", result.commit_conflicts);
+    out.set("control_messages", result.control_messages);
+    out.set("connected", result.connected);
+    out.set("population", static_cast<std::uint64_t>(result.final_population));
+    Json series = Json::array();
+    for (const auto& p : result.series.points()) {
+      Json point = Json::object();
+      point.set("t", p.time).set("value", p.value);
+      series.push_back(std::move(point));
+    }
+    out.set("series", std::move(series));
+    if (result.lookups_issued > 0) {
+      Json traffic = Json::object();
+      traffic.set("issued", result.lookups_issued)
+          .set("unreachable", result.lookups_unreachable)
+          .set("p50_ms", result.observed_p50_ms)
+          .set("p95_ms", result.observed_p95_ms);
+      out.set("traffic", std::move(traffic));
+    }
+    std::printf("%s\n", out.dump(2).c_str());
+    return result.connected ? 0 : 1;
+  }
+  std::printf("propsim experiment: overlay=%s protocol=%s nodes=%zu "
+              "horizon=%.0fs seed=%llu\n",
+              config.get_string("overlay", "gnutella").c_str(),
+              config.get_string("protocol", "prop-g").c_str(), spec.nodes,
+              spec.horizon_s,
+              static_cast<unsigned long long>(spec.seed));
+
+  const ExperimentResult result = run_experiment(spec);
+
+  std::printf("\n%s over time:\n", result.metric_name.c_str());
+  std::printf("%s", series_to_csv({result.series}, 16).c_str());
+  std::printf("\nsummary:\n");
+  std::printf("  %s: %.4g -> %.4g (%.2fx)\n", result.metric_name.c_str(),
+              result.initial_value, result.final_value,
+              result.initial_value / result.final_value);
+  if (result.attempts > 0) {
+    std::printf("  prop: %llu exchanges / %llu attempts\n",
+                static_cast<unsigned long long>(result.exchanges),
+                static_cast<unsigned long long>(result.attempts));
+  }
+  if (result.ltm_rounds > 0) {
+    std::printf("  ltm rounds: %llu\n",
+                static_cast<unsigned long long>(result.ltm_rounds));
+  }
+  std::printf("  control messages: %llu\n",
+              static_cast<unsigned long long>(result.control_messages));
+  if (result.churn_joins + result.churn_leaves + result.churn_failures > 0) {
+    std::printf("  churn: %llu joins, %llu leaves, %llu failures\n",
+                static_cast<unsigned long long>(result.churn_joins),
+                static_cast<unsigned long long>(result.churn_leaves),
+                static_cast<unsigned long long>(result.churn_failures));
+  }
+  if (result.lookups_issued > 0) {
+    std::printf("  traffic: %llu lookups (%llu unreachable), "
+                "experienced p50 %.0f ms / p95 %.0f ms\n",
+                static_cast<unsigned long long>(result.lookups_issued),
+                static_cast<unsigned long long>(result.lookups_unreachable),
+                result.observed_p50_ms, result.observed_p95_ms);
+  }
+  if (result.commit_conflicts > 0) {
+    std::printf("  commit conflicts: %llu\n",
+                static_cast<unsigned long long>(result.commit_conflicts));
+  }
+  std::printf("  population: %zu peers, overlay %s\n",
+              result.final_population,
+              result.connected ? "connected" : "PARTITIONED");
+  return result.connected ? 0 : 1;
+}
