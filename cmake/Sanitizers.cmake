@@ -1,0 +1,58 @@
+# Sanitizer wiring for all propsim targets.
+#
+# PROPSIM_SANITIZE is a semicolon- or comma-separated subset of
+# {address, undefined, thread, leak}:
+#
+#   cmake -B build -DPROPSIM_SANITIZE=address,undefined
+#   cmake -B build -DPROPSIM_SANITIZE=thread
+#
+# thread is mutually exclusive with address/leak (the runtimes cannot be
+# linked together). Flags are applied globally (add_compile_options) so
+# every library, test, bench and tool in the build is instrumented —
+# mixing instrumented and uninstrumented TUs produces false negatives.
+#
+# Suppression files live in tools/sanitizers/; CMakePresets.json exports
+# the matching *SAN_OPTIONS so `ctest --preset asan-ubsan` picks them up
+# without shell setup.
+
+set(PROPSIM_SANITIZE "" CACHE STRING
+  "Sanitizers to enable: comma/semicolon list of address;undefined;thread;leak")
+
+if(PROPSIM_SANITIZE)
+  string(REPLACE "," ";" _propsim_san_list "${PROPSIM_SANITIZE}")
+
+  set(_propsim_san_flags "")
+  foreach(_san IN LISTS _propsim_san_list)
+    string(STRIP "${_san}" _san)
+    string(TOLOWER "${_san}" _san)
+    if(_san STREQUAL "address")
+      list(APPEND _propsim_san_flags -fsanitize=address)
+    elseif(_san STREQUAL "undefined")
+      list(APPEND _propsim_san_flags -fsanitize=undefined)
+    elseif(_san STREQUAL "thread")
+      list(APPEND _propsim_san_flags -fsanitize=thread)
+    elseif(_san STREQUAL "leak")
+      list(APPEND _propsim_san_flags -fsanitize=leak)
+    else()
+      message(FATAL_ERROR "PROPSIM_SANITIZE: unknown sanitizer '${_san}' "
+        "(expected address, undefined, thread or leak)")
+    endif()
+  endforeach()
+
+  if("-fsanitize=thread" IN_LIST _propsim_san_flags AND
+     ("-fsanitize=address" IN_LIST _propsim_san_flags OR
+      "-fsanitize=leak" IN_LIST _propsim_san_flags))
+    message(FATAL_ERROR
+      "PROPSIM_SANITIZE: thread cannot be combined with address/leak")
+  endif()
+
+  # Frame pointers keep sanitizer stack traces readable; O1 keeps TSan
+  # runs fast enough for the full test suite without optimizing away the
+  # races it is meant to see.
+  list(APPEND _propsim_san_flags -fno-omit-frame-pointer)
+
+  add_compile_options(${_propsim_san_flags})
+  add_link_options(${_propsim_san_flags})
+
+  message(STATUS "propsim: sanitizers enabled: ${PROPSIM_SANITIZE}")
+endif()

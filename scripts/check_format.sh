@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# clang-format gate: fails if any first-party file deviates from
+# .clang-format. Pass --fix to rewrite in place instead of checking.
+#
+#   scripts/check_format.sh [--fix]
+#
+# Like run_tidy.sh, a missing clang-format binary is a skip (exit 0)
+# locally; CI installs it and enforces.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FMT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$FMT" >/dev/null 2>&1; then
+  echo "check_format.sh: $FMT not found; skipping (install clang-format" \
+       "to enforce the style gate)" >&2
+  exit 0
+fi
+
+MODE=(--dry-run -Werror)
+if [[ "${1:-}" == "--fix" ]]; then
+  MODE=(-i)
+fi
+
+mapfile -t FILES < <(find src tests bench tools examples \
+  \( -name '*.cpp' -o -name '*.h' \) | sort)
+echo "check_format.sh: ${#FILES[@]} files"
+"$FMT" "${MODE[@]}" "${FILES[@]}"

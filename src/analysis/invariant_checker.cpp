@@ -1,0 +1,104 @@
+#include "analysis/invariant_checker.h"
+
+#include <cstdio>
+#include <memory>
+#include <utility>
+
+#include "common/check.h"
+
+namespace propsim {
+
+std::size_t LintReport::error_count() const {
+  std::size_t n = 0;
+  for (const LintFinding& f : findings) {
+    if (f.severity == LintSeverity::kError) ++n;
+  }
+  return n;
+}
+
+std::size_t LintReport::warning_count() const {
+  return findings.size() - error_count();
+}
+
+std::string LintReport::to_string() const {
+  std::string out;
+  for (const LintFinding& f : findings) {
+    out += f.severity == LintSeverity::kError ? "error" : "warning";
+    out += " [" + f.rule + "] " + f.message + "\n";
+  }
+  return out;
+}
+
+InvariantChecker::InvariantChecker() {
+  register_builtin_lint_rules();
+  for (const auto& rule : LintRuleRegistry::instance().rules()) {
+    rules_.push_back(rule.get());
+  }
+}
+
+InvariantChecker::InvariantChecker(
+    const std::vector<std::string>& rule_names) {
+  register_builtin_lint_rules();
+  for (const std::string& name : rule_names) {
+    const LintRule* rule = LintRuleRegistry::instance().find(name);
+    PROPSIM_CHECK(rule != nullptr && "unknown lint rule name");
+    rules_.push_back(rule);
+  }
+}
+
+LintReport InvariantChecker::run(const LintContext& ctx) const {
+  LintReport report;
+  for (const LintRule* rule : rules_) {
+    if (!rule->applicable(ctx)) {
+      ++report.rules_skipped;
+      continue;
+    }
+    ++report.rules_run;
+    rule->check(ctx, report.findings);
+  }
+  return report;
+}
+
+bool paranoid_checks_enabled() {
+#ifdef PROPSIM_PARANOID
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool install_paranoid_audit(Simulator& sim, const OverlayNetwork& net,
+                            std::uint64_t every_n_events,
+                            bool churn_expected) {
+  if (!paranoid_checks_enabled()) return false;
+  std::vector<std::string> names{"edge-range", "no-self-loops",
+                                 "no-parallel-edges", "connectivity",
+                                 "placement-bijection"};
+  if (!churn_expected) names.emplace_back("degree-conservation");
+  // The hook owns its checker and baseline; both live as long as the
+  // simulator keeps the callback.
+  auto checker = std::make_shared<InvariantChecker>(names);
+  auto baseline = std::make_shared<SnapshotGraph>(snapshot_of(net.graph()));
+  sim.set_audit(
+      [checker, baseline, &net](const Simulator& s) {
+        const SnapshotGraph snap = snapshot_of(net.graph());
+        LintContext ctx;
+        ctx.graph = &snap;
+        ctx.baseline = baseline.get();
+        ctx.placement = &net.placement();
+        const LintReport report = checker->run(ctx);
+        if (!report.passed()) {
+          std::fprintf(stderr,
+                       "propsim: paranoid audit failed at t=%.6f after "
+                       "%llu events:\n%s",
+                       s.now(),
+                       static_cast<unsigned long long>(s.executed_events()),
+                       report.to_string().c_str());
+          std::abort();
+        }
+      },
+      every_n_events);
+  return true;
+}
+
+}  // namespace propsim

@@ -1,0 +1,70 @@
+// InvariantChecker: runs a selected set of lint rules over a snapshot of
+// simulator state and collects the findings.
+//
+// Three consumers share it: the propsim_lint CLI (offline audits of
+// graph_io dumps), the unit tests (per-rule fixtures), and the paranoid
+// in-simulation audit, which re-checks the live overlay every N events
+// when the build defines PROPSIM_PARANOID.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/lint_rules.h"
+#include "overlay/overlay_network.h"
+#include "sim/simulator.h"
+
+namespace propsim {
+
+struct LintReport {
+  std::vector<LintFinding> findings;
+  std::size_t rules_run = 0;
+  std::size_t rules_skipped = 0;  // inapplicable to the given context
+
+  std::size_t error_count() const;
+  std::size_t warning_count() const;
+  /// True when no error-severity finding was produced.
+  bool passed() const { return error_count() == 0; }
+
+  /// One line per finding: "severity [rule] message".
+  std::string to_string() const;
+};
+
+class InvariantChecker {
+ public:
+  /// Audits with every registered rule.
+  InvariantChecker();
+
+  /// Audits with a named subset; check-fails on an unknown rule name.
+  explicit InvariantChecker(const std::vector<std::string>& rule_names);
+
+  const std::vector<const LintRule*>& rules() const { return rules_; }
+
+  /// Runs each selected rule that is applicable to `ctx`.
+  LintReport run(const LintContext& ctx) const;
+
+ private:
+  std::vector<const LintRule*> rules_;
+};
+
+/// True when the library was compiled with PROPSIM_PARANOID (the in-run
+/// audit below does real work only then).
+bool paranoid_checks_enabled();
+
+/// Installs a periodic structural audit on the simulator: every
+/// `every_n_events` executed events the overlay is re-linted against the
+/// structural rules (edge-range, self-loops, parallel edges, connectivity,
+/// placement bijection) plus degree conservation against a baseline
+/// snapshot taken here. Aborts the process on the first error finding —
+/// a silent invariant violation would invalidate every figure downstream.
+///
+/// Degree conservation is skipped when `churn_expected` is true (joins
+/// and leaves legitimately change the multiset). `net` and `sim` must
+/// outlive the simulation. No-op (and returns false) unless the library
+/// was built with PROPSIM_PARANOID.
+bool install_paranoid_audit(Simulator& sim, const OverlayNetwork& net,
+                            std::uint64_t every_n_events = 4096,
+                            bool churn_expected = false);
+
+}  // namespace propsim

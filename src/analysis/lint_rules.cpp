@@ -1,0 +1,599 @@
+#include "analysis/lint_rules.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_set>
+
+#include "can/can_space.h"
+#include "chord/chord_ring.h"
+#include "overlay/isomorphism.h"
+#include "topology/graph.h"
+
+namespace propsim {
+
+std::vector<std::size_t> SnapshotGraph::degrees() const {
+  std::vector<std::size_t> deg(node_count, 0);
+  for (const Edge& e : edges) {
+    if (e.first < node_count) ++deg[e.first];
+    if (e.second < node_count) ++deg[e.second];
+  }
+  return deg;
+}
+
+std::vector<std::size_t> SnapshotGraph::degree_multiset() const {
+  std::vector<std::size_t> deg = degrees();
+  std::sort(deg.begin(), deg.end());
+  return deg;
+}
+
+SnapshotGraph snapshot_of(const LogicalGraph& graph) {
+  SnapshotGraph snap;
+  snap.node_count = graph.slot_count();
+  snap.edges.reserve(graph.edge_count());
+  for (const SlotId s : graph.active_slots()) {
+    for (const SlotId v : graph.neighbors(s)) {
+      if (v > s) snap.edges.emplace_back(s, v);
+    }
+  }
+  return snap;
+}
+
+SnapshotGraph snapshot_of(const Graph& graph) {
+  SnapshotGraph snap;
+  snap.node_count = graph.node_count();
+  snap.edges.reserve(graph.edge_count());
+  for (NodeId u = 0; u < graph.node_count(); ++u) {
+    for (const Graph::Edge& e : graph.neighbors(u)) {
+      if (e.to > u) snap.edges.emplace_back(u, e.to);
+    }
+  }
+  return snap;
+}
+
+bool snapshot_from_edge_list(const std::string& text, SnapshotGraph& out,
+                             std::string* error) {
+  std::istringstream in(text);
+  std::string line;
+  SnapshotGraph snap;
+  bool have_nodes = false;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    std::string first;
+    if (!(fields >> first)) continue;  // blank line
+    if (first == "nodes") {
+      std::size_t n = 0;
+      if (!(fields >> n) || have_nodes) {
+        if (error) *error = "malformed nodes header at line " +
+                            std::to_string(line_no);
+        return false;
+      }
+      snap.node_count = n;
+      have_nodes = true;
+      continue;
+    }
+    if (!have_nodes) {
+      if (error) *error = "edge before nodes header at line " +
+                          std::to_string(line_no);
+      return false;
+    }
+    // Edge lines: "<u> <v> [weight]". Out-of-range and duplicate edges
+    // are kept verbatim for the rules to flag.
+    std::uint32_t u = 0;
+    std::uint32_t v = 0;
+    try {
+      u = static_cast<std::uint32_t>(std::stoul(first));
+    } catch (const std::exception&) {
+      if (error) *error = "malformed endpoint at line " +
+                          std::to_string(line_no);
+      return false;
+    }
+    if (!(fields >> v)) {
+      if (error) *error = "missing endpoint at line " +
+                          std::to_string(line_no);
+      return false;
+    }
+    snap.edges.emplace_back(u, v);
+  }
+  if (!have_nodes) {
+    if (error) *error = "missing nodes header";
+    return false;
+  }
+  out = std::move(snap);
+  return true;
+}
+
+namespace {
+
+std::string fmt_edge(const SnapshotGraph::Edge& e) {
+  return std::to_string(e.first) + "-" + std::to_string(e.second);
+}
+
+void add_finding(std::vector<LintFinding>& findings, std::string_view rule,
+                 LintSeverity severity, std::string message) {
+  findings.push_back(
+      LintFinding{std::string(rule), severity, std::move(message)});
+}
+
+// ------------------------------------------------------------- edge-range
+class EdgeRangeRule final : public LintRule {
+ public:
+  std::string_view name() const override { return "edge-range"; }
+  std::string_view description() const override {
+    return "every edge endpoint names a node inside [0, nodes)";
+  }
+  bool applicable(const LintContext& ctx) const override {
+    return ctx.graph != nullptr;
+  }
+  void check(const LintContext& ctx,
+             std::vector<LintFinding>& findings) const override {
+    for (const auto& e : ctx.graph->edges) {
+      if (e.first >= ctx.graph->node_count ||
+          e.second >= ctx.graph->node_count) {
+        add_finding(findings, name(), LintSeverity::kError,
+                    "edge " + fmt_edge(e) + " references a node >= " +
+                        std::to_string(ctx.graph->node_count));
+      }
+    }
+  }
+};
+
+// ----------------------------------------------------------- no-self-loops
+class SelfLoopRule final : public LintRule {
+ public:
+  std::string_view name() const override { return "no-self-loops"; }
+  std::string_view description() const override {
+    return "no overlay edge connects a node to itself";
+  }
+  bool applicable(const LintContext& ctx) const override {
+    return ctx.graph != nullptr;
+  }
+  void check(const LintContext& ctx,
+             std::vector<LintFinding>& findings) const override {
+    for (const auto& e : ctx.graph->edges) {
+      if (e.first == e.second) {
+        add_finding(findings, name(), LintSeverity::kError,
+                    "self-loop at node " + std::to_string(e.first));
+      }
+    }
+  }
+};
+
+// ------------------------------------------------------- no-parallel-edges
+class ParallelEdgeRule final : public LintRule {
+ public:
+  std::string_view name() const override { return "no-parallel-edges"; }
+  std::string_view description() const override {
+    return "no undirected edge appears twice";
+  }
+  bool applicable(const LintContext& ctx) const override {
+    return ctx.graph != nullptr;
+  }
+  void check(const LintContext& ctx,
+             std::vector<LintFinding>& findings) const override {
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(ctx.graph->edges.size());
+    for (const auto& e : ctx.graph->edges) {
+      const std::uint64_t lo = std::min(e.first, e.second);
+      const std::uint64_t hi = std::max(e.first, e.second);
+      if (!seen.insert((lo << 32) | hi).second) {
+        add_finding(findings, name(), LintSeverity::kError,
+                    "parallel edge " + fmt_edge(e));
+      }
+    }
+  }
+};
+
+// ------------------------------------------------------------ connectivity
+class ConnectivityRule final : public LintRule {
+ public:
+  std::string_view name() const override { return "connectivity"; }
+  std::string_view description() const override {
+    return "all non-isolated nodes form one connected component "
+           "(isolated nodes are reported as warnings)";
+  }
+  bool applicable(const LintContext& ctx) const override {
+    return ctx.graph != nullptr;
+  }
+  void check(const LintContext& ctx,
+             std::vector<LintFinding>& findings) const override {
+    const SnapshotGraph& g = *ctx.graph;
+    const std::size_t n = g.node_count;
+    std::vector<std::vector<std::uint32_t>> adj(n);
+    for (const auto& e : g.edges) {
+      if (e.first >= n || e.second >= n || e.first == e.second) continue;
+      adj[e.first].push_back(e.second);
+      adj[e.second].push_back(e.first);
+    }
+    std::uint32_t start = static_cast<std::uint32_t>(n);
+    std::size_t populated = 0;
+    for (std::uint32_t u = 0; u < n; ++u) {
+      if (!adj[u].empty()) {
+        if (start == n) start = u;
+        ++populated;
+      }
+    }
+    const std::size_t isolated = n - populated;
+    if (isolated > 0) {
+      add_finding(findings, name(), LintSeverity::kWarning,
+                  std::to_string(isolated) +
+                      " isolated node(s); treating them as inactive slots");
+    }
+    if (populated == 0) return;  // nothing to connect
+    std::vector<bool> seen(n, false);
+    std::vector<std::uint32_t> stack{start};
+    seen[start] = true;
+    std::size_t visited = 1;
+    while (!stack.empty()) {
+      const std::uint32_t u = stack.back();
+      stack.pop_back();
+      for (const std::uint32_t v : adj[u]) {
+        if (!seen[v]) {
+          seen[v] = true;
+          ++visited;
+          stack.push_back(v);
+        }
+      }
+    }
+    if (visited != populated) {
+      add_finding(findings, name(), LintSeverity::kError,
+                  "overlay is disconnected: reached " +
+                      std::to_string(visited) + " of " +
+                      std::to_string(populated) + " non-isolated nodes");
+    }
+  }
+};
+
+// ----------------------------------------------------- degree-conservation
+class DegreeConservationRule final : public LintRule {
+ public:
+  std::string_view name() const override { return "degree-conservation"; }
+  std::string_view description() const override {
+    return "PROP-O invariant: the sorted degree multiset matches the "
+           "baseline snapshot";
+  }
+  bool applicable(const LintContext& ctx) const override {
+    return ctx.graph != nullptr && ctx.baseline != nullptr;
+  }
+  void check(const LintContext& ctx,
+             std::vector<LintFinding>& findings) const override {
+    const auto now = ctx.graph->degree_multiset();
+    const auto then = ctx.baseline->degree_multiset();
+    if (now == then) return;
+    if (now.size() != then.size()) {
+      add_finding(findings, name(), LintSeverity::kError,
+                  "node count changed: " + std::to_string(then.size()) +
+                      " -> " + std::to_string(now.size()));
+      return;
+    }
+    std::size_t diverged = 0;
+    for (std::size_t i = 0; i < now.size(); ++i) {
+      if (now[i] != then[i]) ++diverged;
+    }
+    add_finding(findings, name(), LintSeverity::kError,
+                "degree multiset diverged from baseline at " +
+                    std::to_string(diverged) + " of " +
+                    std::to_string(now.size()) + " positions");
+  }
+};
+
+// ----------------------------------------------------- prop-g-isomorphism
+class PropGIsomorphismRule final : public LintRule {
+ public:
+  std::string_view name() const override { return "prop-g-isomorphism"; }
+  std::string_view description() const override {
+    return "PROP-G invariant (Theorem 2): the overlay equals the baseline "
+           "slot-for-slot; with placements, the host-level graphs are "
+           "isomorphic via the placement bijection";
+  }
+  bool applicable(const LintContext& ctx) const override {
+    return ctx.graph != nullptr && ctx.baseline != nullptr;
+  }
+  void check(const LintContext& ctx,
+             std::vector<LintFinding>& findings) const override {
+    // Slot level: PROP-G never edits the logical graph, so the edge sets
+    // must be identical (not merely isomorphic).
+    auto canon = [](const SnapshotGraph& g) {
+      std::vector<SnapshotGraph::Edge> edges = g.edges;
+      for (auto& e : edges) {
+        if (e.first > e.second) std::swap(e.first, e.second);
+      }
+      std::sort(edges.begin(), edges.end());
+      return edges;
+    };
+    if (canon(*ctx.graph) != canon(*ctx.baseline)) {
+      add_finding(findings, name(), LintSeverity::kError,
+                  "slot-level edge set differs from baseline (PROP-G must "
+                  "leave the logical graph untouched)");
+      return;
+    }
+    if (ctx.placement == nullptr || ctx.baseline_placement == nullptr) {
+      return;
+    }
+    // Host level: phi(h) = host now occupying the slot h occupied before
+    // must map the old host-labelled edge set exactly onto the new one.
+    const Placement& before = *ctx.baseline_placement;
+    const Placement& after = *ctx.placement;
+    if (before.slot_capacity() != after.slot_capacity()) {
+      add_finding(findings, name(), LintSeverity::kError,
+                  "placement slot capacities differ between snapshots");
+      return;
+    }
+    auto labelled = [&](const SnapshotGraph& g, const Placement& p,
+                        std::vector<HostEdge>& out) {
+      out.reserve(g.edges.size());
+      for (const auto& e : g.edges) {
+        if (e.first >= p.slot_capacity() || e.second >= p.slot_capacity() ||
+            !p.slot_bound(e.first) || !p.slot_bound(e.second)) {
+          return false;
+        }
+        const NodeId a = p.host_of(e.first);
+        const NodeId b = p.host_of(e.second);
+        out.emplace_back(std::min(a, b), std::max(a, b));
+      }
+      std::sort(out.begin(), out.end());
+      return true;
+    };
+    std::vector<HostEdge> edges_before;
+    std::vector<HostEdge> edges_after;
+    if (!labelled(*ctx.baseline, before, edges_before) ||
+        !labelled(*ctx.graph, after, edges_after)) {
+      add_finding(findings, name(), LintSeverity::kError,
+                  "an overlay edge endpoint has no bound host");
+      return;
+    }
+    for (SlotId s = 0; s < before.slot_capacity(); ++s) {
+      if (before.slot_bound(s) != after.slot_bound(s)) {
+        add_finding(findings, name(), LintSeverity::kError,
+                    "slot " + std::to_string(s) +
+                        " changed bound state between snapshots");
+        return;
+      }
+    }
+    const auto [hosts, phi] = placement_bijection(before, after);
+    if (!isomorphic_via(edges_before, edges_after, hosts, phi)) {
+      add_finding(findings, name(), LintSeverity::kError,
+                  "host-level graphs are not isomorphic under the "
+                  "placement bijection");
+    }
+  }
+};
+
+// ------------------------------------------------------ placement-bijection
+class PlacementBijectionRule final : public LintRule {
+ public:
+  std::string_view name() const override { return "placement-bijection"; }
+  std::string_view description() const override {
+    return "slot->host and host->slot maps are mutually inverse partial "
+           "bijections";
+  }
+  bool applicable(const LintContext& ctx) const override {
+    return ctx.placement != nullptr;
+  }
+  void check(const LintContext& ctx,
+             std::vector<LintFinding>& findings) const override {
+    const Placement& p = *ctx.placement;
+    std::size_t bound = 0;
+    for (SlotId s = 0; s < p.slot_capacity(); ++s) {
+      if (!p.slot_bound(s)) continue;
+      ++bound;
+      const NodeId h = p.host_of(s);
+      if (h >= p.host_capacity()) {
+        add_finding(findings, name(), LintSeverity::kError,
+                    "slot " + std::to_string(s) + " bound to host " +
+                        std::to_string(h) + " outside host capacity");
+        continue;
+      }
+      if (!p.host_bound(h) || p.slot_of(h) != s) {
+        add_finding(findings, name(), LintSeverity::kError,
+                    "slot " + std::to_string(s) + " -> host " +
+                        std::to_string(h) +
+                        " has no matching reverse binding");
+      }
+    }
+    for (NodeId h = 0; h < p.host_capacity(); ++h) {
+      if (!p.host_bound(h)) continue;
+      const SlotId s = p.slot_of(h);
+      if (s >= p.slot_capacity() || !p.slot_bound(s) || p.host_of(s) != h) {
+        add_finding(findings, name(), LintSeverity::kError,
+                    "host " + std::to_string(h) + " -> slot " +
+                        std::to_string(s) +
+                        " has no matching forward binding");
+      }
+    }
+    if (bound != p.bound_count()) {
+      add_finding(findings, name(), LintSeverity::kError,
+                  "bound_count() says " + std::to_string(p.bound_count()) +
+                      " but " + std::to_string(bound) +
+                      " slots are actually bound");
+    }
+  }
+};
+
+// ----------------------------------------------------- chord-monotonicity
+class ChordMonotonicityRule final : public LintRule {
+ public:
+  std::string_view name() const override { return "chord-monotonicity"; }
+  std::string_view description() const override {
+    return "Chord ring ids are distinct, successor lists follow the ring "
+           "order, and finger tables step monotonically clockwise";
+  }
+  bool applicable(const LintContext& ctx) const override {
+    return ctx.chord != nullptr;
+  }
+  void check(const LintContext& ctx,
+             std::vector<LintFinding>& findings) const override {
+    const ChordRing& ring = *ctx.chord;
+    const std::size_t n = ring.size();
+    std::vector<SlotId> order(n);
+    for (SlotId s = 0; s < n; ++s) order[s] = s;
+    std::sort(order.begin(), order.end(), [&](SlotId a, SlotId b) {
+      return ring.id_of(a) < ring.id_of(b);
+    });
+    for (std::size_t i = 1; i < n; ++i) {
+      if (ring.id_of(order[i - 1]) == ring.id_of(order[i])) {
+        add_finding(findings, name(), LintSeverity::kError,
+                    "duplicate chord id shared by slots " +
+                        std::to_string(order[i - 1]) + " and " +
+                        std::to_string(order[i]));
+        return;  // the ring order is ill-defined past this point
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const SlotId s = order[i];
+      const SlotId expect = order[(i + 1) % n];
+      if (ring.ring_successor(s) != expect) {
+        add_finding(findings, name(), LintSeverity::kError,
+                    "ring_successor(" + std::to_string(s) +
+                        ") skips the next id clockwise");
+      }
+      if (ring.successor_of(ring.id_of(s)) != s) {
+        add_finding(findings, name(), LintSeverity::kError,
+                    "successor_of(id_of(" + std::to_string(s) +
+                        ")) does not resolve to the slot itself");
+      }
+    }
+    for (SlotId s = 0; s < n; ++s) {
+      const auto succ = ring.successors(s);
+      for (std::size_t k = 0; k < succ.size(); ++k) {
+        if (succ[k] != ring.ring_successor(s, k + 1)) {
+          add_finding(findings, name(), LintSeverity::kError,
+                      "successor list of slot " + std::to_string(s) +
+                          " diverges from the ring at position " +
+                          std::to_string(k));
+          break;
+        }
+      }
+      // With PNS each finger is drawn from a candidate window, so strict
+      // clockwise monotonicity only holds for plain Chord tables.
+      if (ring.config().pns_candidates > 1) continue;
+      const auto fingers = ring.fingers(s);
+      ChordId prev = 0;
+      for (std::size_t k = 0; k < fingers.size(); ++k) {
+        if (fingers[k] == s) {
+          add_finding(findings, name(), LintSeverity::kError,
+                      "slot " + std::to_string(s) +
+                          " lists itself as a finger");
+          break;
+        }
+        const ChordId dist =
+            clockwise_distance(ring.id_of(s), ring.id_of(fingers[k]));
+        if (k > 0 && dist <= prev) {
+          add_finding(findings, name(), LintSeverity::kError,
+                      "finger table of slot " + std::to_string(s) +
+                          " is not clockwise-monotone at entry " +
+                          std::to_string(k));
+          break;
+        }
+        prev = dist;
+      }
+    }
+  }
+};
+
+// ----------------------------------------------------------- can-tiling
+class CanTilingRule final : public LintRule {
+ public:
+  std::string_view name() const override { return "can-tiling"; }
+  std::string_view description() const override {
+    return "CAN zones are well-formed, pairwise disjoint, cover the torus "
+           "exactly, and neighbor lists mirror geometric adjacency";
+  }
+  bool applicable(const LintContext& ctx) const override {
+    return ctx.can != nullptr;
+  }
+  void check(const LintContext& ctx,
+             std::vector<LintFinding>& findings) const override {
+    const CanSpace& space = *ctx.can;
+    const std::size_t n = space.size();
+    double volume = 0.0;
+    for (SlotId s = 0; s < n; ++s) {
+      const CanZone& z = space.zone(s);
+      for (std::size_t d = 0; d < kCanDims; ++d) {
+        if (z.lo[d] >= z.hi[d] || z.hi[d] > kCanSpan) {
+          add_finding(findings, name(), LintSeverity::kError,
+                      "zone " + std::to_string(s) +
+                          " is degenerate in dimension " +
+                          std::to_string(d));
+        }
+      }
+      volume += z.volume_fraction();
+    }
+    if (std::abs(volume - 1.0) > 1e-9) {
+      add_finding(findings, name(), LintSeverity::kError,
+                  "zone volumes sum to " + std::to_string(volume) +
+                      ", not 1 (coverage gap or overlap)");
+    }
+    auto overlap = [](CanCoord alo, CanCoord ahi, CanCoord blo,
+                      CanCoord bhi) { return alo < bhi && blo < ahi; };
+    for (SlotId a = 0; a < n; ++a) {
+      for (SlotId b = a + 1; b < n; ++b) {
+        const CanZone& za = space.zone(a);
+        const CanZone& zb = space.zone(b);
+        bool all = true;
+        for (std::size_t d = 0; d < kCanDims; ++d) {
+          all = all && overlap(za.lo[d], za.hi[d], zb.lo[d], zb.hi[d]);
+        }
+        if (all) {
+          add_finding(findings, name(), LintSeverity::kError,
+                      "zones " + std::to_string(a) + " and " +
+                          std::to_string(b) + " overlap");
+        }
+        const bool adj = zones_adjacent(za, zb);
+        const auto na = space.neighbors(a);
+        const auto nb = space.neighbors(b);
+        const bool a_lists_b =
+            std::find(na.begin(), na.end(), b) != na.end();
+        const bool b_lists_a =
+            std::find(nb.begin(), nb.end(), a) != nb.end();
+        if (adj != a_lists_b || adj != b_lists_a) {
+          add_finding(findings, name(), LintSeverity::kError,
+                      "neighbor lists of zones " + std::to_string(a) +
+                          " and " + std::to_string(b) +
+                          " disagree with geometric adjacency");
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+LintRuleRegistry& LintRuleRegistry::instance() {
+  static LintRuleRegistry registry;
+  return registry;
+}
+
+void LintRuleRegistry::add(std::unique_ptr<LintRule> rule) {
+  rules_.push_back(std::move(rule));
+}
+
+const LintRule* LintRuleRegistry::find(std::string_view name) const {
+  for (const auto& rule : rules_) {
+    if (rule->name() == name) return rule.get();
+  }
+  return nullptr;
+}
+
+void register_builtin_lint_rules() {
+  static const bool once = [] {
+    LintRuleRegistry& reg = LintRuleRegistry::instance();
+    reg.add(std::make_unique<EdgeRangeRule>());
+    reg.add(std::make_unique<SelfLoopRule>());
+    reg.add(std::make_unique<ParallelEdgeRule>());
+    reg.add(std::make_unique<ConnectivityRule>());
+    reg.add(std::make_unique<DegreeConservationRule>());
+    reg.add(std::make_unique<PropGIsomorphismRule>());
+    reg.add(std::make_unique<PlacementBijectionRule>());
+    reg.add(std::make_unique<ChordMonotonicityRule>());
+    reg.add(std::make_unique<CanTilingRule>());
+    return true;
+  }();
+  (void)once;
+}
+
+}  // namespace propsim

@@ -1,0 +1,117 @@
+// Protocol-invariant lint rules.
+//
+// Each rule statically audits a snapshot of simulator state for one of the
+// structural invariants the PROP reproduction rests on: PROP-G must leave
+// the overlay unchanged up to isomorphism (Theorem 2), PROP-O must conserve
+// every node's degree, a Chord substrate must keep its ring strictly
+// monotone, a CAN substrate must keep its zones tiling the torus. Rules are
+// registered in a global registry so the propsim_lint CLI, the unit tests
+// and the paranoid in-simulation audit all see the same catalog.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "overlay/logical_graph.h"
+#include "overlay/placement.h"
+
+namespace propsim {
+
+class ChordRing;
+class CanSpace;
+class Graph;
+
+/// Loosely-validated undirected edge list. Unlike Graph/LogicalGraph this
+/// representation can hold *broken* topologies (self-loops, parallel
+/// edges, out-of-range endpoints), which is the whole point: lint rules
+/// must be able to look at corrupt snapshots without tripping the
+/// constructors' own checks.
+struct SnapshotGraph {
+  using Edge = std::pair<std::uint32_t, std::uint32_t>;
+
+  std::size_t node_count = 0;
+  std::vector<Edge> edges;  // as recorded; not canonicalized
+
+  std::vector<std::size_t> degrees() const;
+  /// Sorted per-node degree list (the PROP-O conserved quantity).
+  std::vector<std::size_t> degree_multiset() const;
+};
+
+/// Snapshot of a live LogicalGraph (active slots only, inactive slots
+/// appear isolated exactly as in a graph_io dump).
+SnapshotGraph snapshot_of(const LogicalGraph& graph);
+
+/// Snapshot of a physical Graph (weights dropped; lint is structural).
+SnapshotGraph snapshot_of(const Graph& graph);
+
+/// Parses the graph_io edge-list text format leniently: malformed or
+/// out-of-range lines become edges the range rule can flag instead of
+/// aborting the process. Returns false only when the text lacks a
+/// parseable "nodes <N>" header.
+bool snapshot_from_edge_list(const std::string& text, SnapshotGraph& out,
+                             std::string* error = nullptr);
+
+/// Everything a rule may inspect. All pointers optional; a rule declares
+/// itself inapplicable when its inputs are missing. `baseline` is the
+/// pre-run snapshot that conservation rules (degree multiset, PROP-G
+/// isomorphism) compare against.
+struct LintContext {
+  const SnapshotGraph* graph = nullptr;
+  const SnapshotGraph* baseline = nullptr;
+  const Placement* placement = nullptr;
+  const Placement* baseline_placement = nullptr;
+  const ChordRing* chord = nullptr;
+  const CanSpace* can = nullptr;
+};
+
+enum class LintSeverity { kWarning, kError };
+
+struct LintFinding {
+  std::string rule;
+  LintSeverity severity = LintSeverity::kError;
+  std::string message;
+};
+
+/// One invariant audit. Implementations are stateless; `check` appends
+/// zero findings when the invariant holds.
+class LintRule {
+ public:
+  virtual ~LintRule() = default;
+
+  virtual std::string_view name() const = 0;
+  virtual std::string_view description() const = 0;
+
+  /// True when the context carries the inputs this rule needs.
+  virtual bool applicable(const LintContext& ctx) const = 0;
+
+  virtual void check(const LintContext& ctx,
+                     std::vector<LintFinding>& findings) const = 0;
+};
+
+/// Global rule catalog. Rules self-register at static-init time; the
+/// registry is append-only and iteration order is registration order.
+class LintRuleRegistry {
+ public:
+  static LintRuleRegistry& instance();
+
+  void add(std::unique_ptr<LintRule> rule);
+  const std::vector<std::unique_ptr<LintRule>>& rules() const {
+    return rules_;
+  }
+  /// Rule with the given name, or nullptr.
+  const LintRule* find(std::string_view name) const;
+
+ private:
+  std::vector<std::unique_ptr<LintRule>> rules_;
+};
+
+/// Forces registration of the built-in rule set (safe to call repeatedly).
+/// Called by InvariantChecker and the CLI; direct registry users that skip
+/// InvariantChecker must call it once first.
+void register_builtin_lint_rules();
+
+}  // namespace propsim

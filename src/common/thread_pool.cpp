@@ -14,13 +14,17 @@ ThreadPool::ThreadPool(std::size_t workers) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
     stopping_ = true;
   }
   cv_.notify_all();
   for (std::thread& t : workers_) t.join();
+  workers_.clear();
 }
 
 void ThreadPool::worker_loop() {

@@ -12,11 +12,10 @@
 #include <future>
 #include <mutex>
 #include <queue>
+#include <stdexcept>
 #include <thread>
 #include <type_traits>
 #include <vector>
-
-#include "common/check.h"
 
 namespace propsim {
 
@@ -31,7 +30,15 @@ class ThreadPool {
 
   std::size_t worker_count() const { return workers_.size(); }
 
+  /// Drains queued tasks and joins the workers. Idempotent; called by the
+  /// destructor. After shutdown, submit/parallel_for throw.
+  void shutdown();
+
   /// Enqueues a callable; the future carries its result (or exception).
+  /// Throws std::runtime_error if the pool has been shut down — a stopped
+  /// pool would silently never run the task, and the caller (typically a
+  /// sweep mid-teardown) deserves a diagnosable failure instead of a
+  /// future that never resolves.
   template <typename Fn>
   auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
     using Result = std::invoke_result_t<Fn>;
@@ -40,7 +47,11 @@ class ThreadPool {
     std::future<Result> future = task->get_future();
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      PROPSIM_CHECK(!stopping_);
+      if (stopping_) {
+        throw std::runtime_error(
+            "ThreadPool::submit: pool is shut down; tasks submitted after "
+            "shutdown() (or during destruction) would never run");
+      }
       queue_.emplace([task] { (*task)(); });
     }
     cv_.notify_one();

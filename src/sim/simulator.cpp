@@ -36,6 +36,7 @@ bool Simulator::step() {
   now_ = entry.time;
   ++executed_;
   node.mapped()();
+  if (audit_ && executed_ % audit_interval_ == 0) audit_(*this);
   return true;
 }
 

@@ -49,6 +49,17 @@ class Simulator {
   /// Executes the single earliest event; returns false if none pending.
   bool step();
 
+  /// Verification hook: `fn` runs after every `every_n_events` executed
+  /// events (and sees the post-event state). One hook at a time; pass a
+  /// null fn to uninstall. Used by the paranoid invariant audit
+  /// (analysis/invariant_checker.h) and by tests.
+  using AuditHook = std::function<void(const Simulator&)>;
+  void set_audit(AuditHook fn, std::uint64_t every_n_events) {
+    PROPSIM_CHECK(fn == nullptr || every_n_events > 0);
+    audit_ = std::move(fn);
+    audit_interval_ = every_n_events;
+  }
+
  private:
   struct Entry {
     double time;
@@ -65,6 +76,8 @@ class Simulator {
   double now_ = 0.0;
   EventId next_id_ = 1;
   std::uint64_t executed_ = 0;
+  AuditHook audit_;
+  std::uint64_t audit_interval_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
   std::unordered_map<EventId, Callback> callbacks_;
 };

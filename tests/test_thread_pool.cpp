@@ -46,6 +46,28 @@ TEST(ThreadPool, DefaultSizeUsesHardwareConcurrency) {
   EXPECT_GE(pool.worker_count(), 1u);
 }
 
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 7; });
+  EXPECT_EQ(f.get(), 7);
+  pool.shutdown();
+  try {
+    pool.submit([] { return 1; });
+    FAIL() << "submit on a stopped pool must throw";
+  } catch (const std::runtime_error& e) {
+    // The message must name the failure mode, not just say "error".
+    EXPECT_NE(std::string(e.what()).find("shut down"), std::string::npos);
+  }
+}
+
+TEST(ThreadPool, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  pool.shutdown();  // second call must be a no-op, not a crash
+  EXPECT_THROW(pool.parallel_for(3, [](std::size_t) {}),
+               std::runtime_error);
+}
+
 TEST(ThreadPool, DestructorDrainsCleanly) {
   std::atomic<int> done{0};
   {
