@@ -50,13 +50,14 @@ void print_csv_block(const std::string& name, const std::string& csv);
 void print_verdict(bool holds, const std::string& detail);
 
 /// A prepared world: physical topology + oracle. Heavy, build once per
-/// scenario.
+/// scenario. The oracle uses the exact hierarchical transit-stub engine,
+/// so pairwise latencies are O(1) with O(V) resident state.
 struct World {
   TransitStubTopology topo;
   LatencyOracle oracle;
 
   World(const TransitStubConfig& config, Rng& rng)
-      : topo(make_transit_stub(config, rng)), oracle(topo.graph) {}
+      : topo(make_transit_stub(config, rng)), oracle(topo) {}
 };
 
 /// The default PROP parameter block used across benches (paper values).

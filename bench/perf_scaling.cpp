@@ -1,0 +1,341 @@
+// perf_scaling — oracle performance scaling bench (not a paper figure).
+//
+// Measures the hierarchical transit-stub latency oracle against the
+// Dijkstra-row fallback across physical network sizes n in {~1k, ~10k,
+// ~50k}: construction wall-clock, point-query throughput, resident
+// memory, and an end-to-end PROP-G Gnutella run at the 10k scale with
+// both engines. Results go to stdout and to BENCH_oracle.json (stable
+// schema `propsim.bench.oracle`, version 1) for CI artifact upload.
+//
+// `--quick` shrinks query counts and skips the 50k scale so the bench
+// fits in CI time; `--part 1k|10k|50k` runs a single scale. Exit code
+// is 0 only when the generous 10k-scale ceilings hold (the CI perf
+// smoke gate): hierarchical build time, >= 5x query throughput over the
+// fallback, bit-exact spot-check vs full-graph Dijkstra, and bounded
+// peak RSS.
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/json.h"
+#include "core/prop_engine.h"
+#include "metrics/convergence.h"
+#include "metrics/metrics.h"
+#include "sim/simulator.h"
+#include "workload/host_selection.h"
+#include "workload/lookups.h"
+
+namespace propsim::bench {
+namespace {
+
+double now_ms() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double, std::milli>(
+             clock::now().time_since_epoch())
+      .count();
+}
+
+/// Peak resident set of this process so far, in MiB (ru_maxrss is KiB on
+/// Linux).
+double peak_rss_mb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+/// Current resident set in MiB via /proc/self/statm (Linux); 0 if
+/// unreadable. Peak RSS only grows, so this is what shows the oracle's
+/// O(V) footprint per scale.
+double current_rss_mb() {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0.0;
+  long pages = 0, resident = 0;
+  const int got = std::fscanf(f, "%ld %ld", &pages, &resident);
+  std::fclose(f);
+  if (got != 2) return 0.0;
+  const long page_kb = sysconf(_SC_PAGESIZE) / 1024;
+  return static_cast<double>(resident * page_kb) / 1024.0;
+}
+
+struct Scale {
+  std::string name;     // also the --part selector
+  std::size_t transit_domains;
+};
+
+TransitStubConfig scaled_config(const Scale& scale) {
+  // ts-large shape (4 transit nodes/domain, 3x40-node stubs per transit
+  // node = 484 nodes per transit domain); only the backbone width grows.
+  TransitStubConfig config = TransitStubConfig::ts_large();
+  config.transit_domains = scale.transit_domains;
+  return config;
+}
+
+/// Random (a, b) stub-host query pairs, a != b.
+std::vector<std::pair<NodeId, NodeId>> random_pairs(
+    const TransitStubTopology& topo, std::size_t count, Rng& rng) {
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  pairs.reserve(count);
+  const auto& hosts = topo.stub_nodes;
+  for (std::size_t i = 0; i < count; ++i) {
+    const NodeId a = rng.pick(hosts);
+    NodeId b = rng.pick(hosts);
+    while (b == a) b = rng.pick(hosts);
+    pairs.emplace_back(a, b);
+  }
+  return pairs;
+}
+
+struct Throughput {
+  std::size_t queries = 0;
+  double wall_ms = 0.0;
+  double qps = 0.0;
+  double checksum = 0.0;  // defeats dead-code elimination; printed
+};
+
+Throughput measure_queries(const LatencyOracle& oracle,
+                           std::span<const std::pair<NodeId, NodeId>> pairs) {
+  Throughput t;
+  t.queries = pairs.size();
+  const double start = now_ms();
+  double sum = 0.0;
+  for (const auto& [a, b] : pairs) sum += oracle.latency(a, b);
+  t.wall_ms = now_ms() - start;
+  t.qps = t.wall_ms > 0.0 ? 1000.0 * static_cast<double>(t.queries) / t.wall_ms
+                          : 0.0;
+  t.checksum = sum;
+  return t;
+}
+
+/// Max |hierarchical - Dijkstra| over full rows from `samples` random
+/// sources. Must be exactly 0 on transit-stub graphs.
+double equivalence_gap(const TransitStubTopology& topo,
+                       const LatencyOracle& hier, const LatencyOracle& dijk,
+                       std::size_t samples, Rng& rng) {
+  double worst = 0.0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const NodeId src = rng.pick(topo.stub_nodes);
+    const DistanceRow h = hier.distances_from(src);
+    const DistanceRow d = dijk.distances_from(src);
+    for (std::size_t v = 0; v < h.size(); ++v) {
+      worst = std::max(worst, std::fabs(h[v] - d[v]));
+    }
+  }
+  return worst;
+}
+
+struct EndToEnd {
+  double wall_ms = 0.0;
+  double improvement = 0.0;  // initial/final lookup latency
+  std::uint64_t exchanges = 0;
+};
+
+/// One full PROP-G Gnutella experiment over a prebuilt topology using
+/// the given oracle engine; identical seeds => identical overlay and
+/// schedule for both engines, so wall-clock is the only difference.
+EndToEnd run_prop_g(const TransitStubTopology& topo,
+                    const LatencyOracle& oracle, std::size_t overlay_n,
+                    double horizon_s, std::size_t query_count,
+                    std::uint64_t seed) {
+  const double start = now_ms();
+  Rng rng(seed);
+  const auto hosts = select_stub_hosts(topo, overlay_n, rng);
+  GnutellaConfig gcfg;
+  OverlayNetwork net = build_gnutella_overlay(gcfg, hosts, oracle, rng);
+
+  Rng qrng(seed ^ 0x517cc1b727220a95ULL);
+  const auto queries = uniform_queries(net.graph(), query_count, qrng);
+
+  Simulator sim;
+  PropEngine engine(net, sim, paper_prop_params(PropMode::kPropG), seed + 7);
+  ConvergenceSampler sampler(sim, "lookup_ms", 0.0, horizon_s, horizon_s / 8.0,
+                             [&] {
+                               return average_unstructured_lookup_latency(
+                                   net, queries);
+                             });
+  engine.start();
+  sim.run_until(horizon_s);
+
+  EndToEnd e;
+  e.wall_ms = now_ms() - start;
+  const TimeSeries series = sampler.take_series();
+  e.improvement = series.first_value() / series.last_value();
+  e.exchanges = engine.stats().exchanges;
+  return e;
+}
+
+int run(const BenchOptions& opts) {
+  print_header(
+      "perf_scaling — hierarchical oracle vs Dijkstra-row fallback",
+      "hierarchical latency(a,b) is O(1) with O(V) resident state; >= 5x "
+      "the fallback's query throughput at the 10k scale, bit-exact");
+
+  std::vector<Scale> scales{{"1k", 2}, {"10k", 21}};
+  if (!opts.quick) scales.push_back({"50k", 103});
+  if (!opts.part.empty()) {
+    std::erase_if(scales,
+                  [&](const Scale& s) { return s.name != opts.part; });
+    if (scales.empty()) {
+      std::fprintf(stderr, "unknown --part '%s' (1k | 10k | 50k)\n",
+                   opts.part.c_str());
+      return 2;
+    }
+  }
+
+  Json doc = Json::object();
+  doc.set("schema", "propsim.bench.oracle");
+  doc.set("version", 1);
+  doc.set("quick", opts.quick);
+  doc.set("seed", opts.seed);
+  Json rows = Json::array();
+
+  // Generous ceilings for the CI perf smoke gate, checked at the 10k
+  // scale only (small enough to always run, big enough to be honest).
+  constexpr double kBuildCeilingMs = 60'000.0;
+  constexpr double kMinSpeedup = 5.0;
+  constexpr double kMinHierQps = 1e6;
+  constexpr double kRssCeilingMb = 4096.0;
+  bool gate_checked = false;
+  bool pass = true;
+
+  for (const Scale& scale : scales) {
+    const TransitStubConfig config = scaled_config(scale);
+    std::printf("scale %s: %zu physical nodes (%zu transit domains)\n",
+                scale.name.c_str(), config.total_nodes(),
+                config.transit_domains);
+
+    Rng rng(opts.seed);
+    const TransitStubTopology topo = make_transit_stub(config, rng);
+
+    const double build_start = now_ms();
+    const LatencyOracle hier(topo);
+    const double build_ms = now_ms() - build_start;
+    const double rss_after_build = current_rss_mb();
+    std::printf("  hierarchical build: %.1f ms, resident %.1f MiB\n",
+                build_ms, rss_after_build);
+
+    const LatencyOracle dijk(topo.graph);  // fallback engine, default LRU
+
+    // Point-query throughput. The fallback gets fewer queries (each cold
+    // source costs a full Dijkstra); qps normalizes the comparison.
+    Rng qrng(opts.seed ^ 0x9e3779b97f4a7c15ULL);
+    const std::size_t hier_q = opts.quick ? 500'000 : 5'000'000;
+    const std::size_t dijk_q = std::max<std::size_t>(
+        500, (opts.quick ? 5'000'000 : 50'000'000) / config.total_nodes());
+    const auto hier_pairs = random_pairs(topo, hier_q, qrng);
+    const auto dijk_pairs = random_pairs(topo, dijk_q, qrng);
+    const Throughput ht = measure_queries(hier, hier_pairs);
+    const Throughput dt = measure_queries(dijk, dijk_pairs);
+    const double speedup = dt.qps > 0.0 ? ht.qps / dt.qps : 0.0;
+    std::printf("  queries/sec: hierarchical %.3g (%zu queries, checksum "
+                "%.6g), dijkstra %.3g (%zu queries) -> %.0fx\n",
+                ht.qps, ht.queries, ht.checksum, dt.qps, dt.queries, speedup);
+
+    // Exactness spot-check: full rows from random sources must match the
+    // full-graph Dijkstra bit-for-bit.
+    Rng erng(opts.seed + 13);
+    const double gap = equivalence_gap(topo, hier, dijk, 3, erng);
+    std::printf("  equivalence: max |hier - dijkstra| = %g over 3 rows\n",
+                gap);
+
+    Json row = Json::object();
+    row.set("scale", scale.name)
+        .set("physical_nodes", static_cast<std::uint64_t>(config.total_nodes()))
+        .set("transit_domains",
+             static_cast<std::uint64_t>(config.transit_domains))
+        .set("hierarchical_build_ms", build_ms)
+        .set("rss_after_build_mb", rss_after_build)
+        .set("hierarchical_qps", ht.qps)
+        .set("hierarchical_queries", static_cast<std::uint64_t>(ht.queries))
+        .set("dijkstra_qps", dt.qps)
+        .set("dijkstra_queries", static_cast<std::uint64_t>(dt.queries))
+        .set("speedup", speedup)
+        .set("equivalence_max_abs_diff", gap);
+
+    // End-to-end PROP-G Gnutella at the gate scale, both engines.
+    if (scale.name == "10k") {
+      const std::size_t overlay_n = opts.quick ? 300 : 1000;
+      const double horizon_s = opts.quick ? 900.0 : 3600.0;
+      const std::size_t query_count = opts.quick ? 2500 : 10000;
+      const EndToEnd he =
+          run_prop_g(topo, hier, overlay_n, horizon_s, query_count, opts.seed);
+      const EndToEnd de =
+          run_prop_g(topo, dijk, overlay_n, horizon_s, query_count, opts.seed);
+      std::printf("  end-to-end PROP-G (n=%zu peers, %.0f s): hierarchical "
+                  "%.0f ms wall, dijkstra %.0f ms wall (improvement %.2fx / "
+                  "%.2fx, %llu / %llu exchanges)\n",
+                  overlay_n, horizon_s, he.wall_ms, de.wall_ms,
+                  he.improvement, de.improvement,
+                  static_cast<unsigned long long>(he.exchanges),
+                  static_cast<unsigned long long>(de.exchanges));
+      Json e2e = Json::object();
+      e2e.set("overlay_nodes", static_cast<std::uint64_t>(overlay_n))
+          .set("horizon_s", horizon_s)
+          .set("hierarchical_wall_ms", he.wall_ms)
+          .set("dijkstra_wall_ms", de.wall_ms)
+          .set("hierarchical_improvement", he.improvement)
+          .set("dijkstra_improvement", de.improvement);
+      row.set("end_to_end_prop_g", std::move(e2e));
+
+      gate_checked = true;
+      bool gate = true;
+      gate = gate && build_ms <= kBuildCeilingMs;
+      gate = gate && ht.qps >= kMinHierQps;
+      gate = gate && speedup >= kMinSpeedup;
+      gate = gate && gap == 0.0;
+      gate = gate && peak_rss_mb() <= kRssCeilingMb;
+      pass = pass && gate;
+      if (!gate) {
+        std::printf("  10k gate FAILED (ceilings: build <= %.0f ms, "
+                    "hier qps >= %.0g, speedup >= %.0fx, gap == 0, "
+                    "peak rss <= %.0f MiB)\n",
+                    kBuildCeilingMs, kMinHierQps, kMinSpeedup, kRssCeilingMb);
+      }
+    } else {
+      pass = pass && gap == 0.0;
+    }
+    rows.push_back(std::move(row));
+  }
+
+  const double peak_mb = peak_rss_mb();
+  doc.set("scales", std::move(rows));
+  doc.set("peak_rss_mb", peak_mb);
+  Json ceilings = Json::object();
+  ceilings.set("build_ms", kBuildCeilingMs)
+      .set("min_hierarchical_qps", kMinHierQps)
+      .set("min_speedup", kMinSpeedup)
+      .set("max_peak_rss_mb", kRssCeilingMb);
+  doc.set("ceilings_10k", std::move(ceilings));
+  doc.set("gate_checked", gate_checked);
+  doc.set("pass", pass);
+
+  const std::string out = doc.dump(2);
+  if (std::FILE* f = std::fopen("BENCH_oracle.json", "w")) {
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("\nwrote BENCH_oracle.json (peak rss %.1f MiB)\n", peak_mb);
+  } else {
+    std::fprintf(stderr, "could not write BENCH_oracle.json\n");
+    return 2;
+  }
+
+  print_verdict(pass, gate_checked
+                          ? "10k-scale ceilings " +
+                                std::string(pass ? "hold" : "violated")
+                          : "informational run (10k gate not exercised)");
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace propsim::bench
+
+int main(int argc, char** argv) {
+  return propsim::bench::run(propsim::bench::parse_options(argc, argv));
+}

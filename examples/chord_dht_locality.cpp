@@ -39,7 +39,7 @@ int main() {
   Rng rng(7);
   const TransitStubTopology topo =
       make_transit_stub(TransitStubConfig::ts_large(), rng);
-  const LatencyOracle oracle(topo.graph);
+  const LatencyOracle oracle(topo);  // exact hierarchical engine, O(1) queries
   const auto hosts = select_stub_hosts(topo, 512, rng);
 
   // --- Variant A: plain Chord (random identifiers). ---

@@ -22,7 +22,7 @@ int main() {
   Rng rng(55);
   const TransitStubTopology topo =
       make_transit_stub(TransitStubConfig::ts_large(), rng);
-  const LatencyOracle oracle(topo.graph);
+  const LatencyOracle oracle(topo);  // exact hierarchical engine, O(1) queries
   auto [hosts, spares] = select_stub_hosts_with_spares(topo, 500, 150, rng);
   GnutellaConfig gcfg;
   OverlayNetwork net = build_gnutella_overlay(gcfg, hosts, oracle, rng);

@@ -60,7 +60,7 @@ int main() {
   Rng rng(2024);
   const TransitStubTopology topo =
       make_transit_stub(TransitStubConfig::ts_large(), rng);
-  const LatencyOracle oracle(topo.graph);
+  const LatencyOracle oracle(topo);  // exact hierarchical engine, O(1) queries
   const auto hosts = select_stub_hosts(topo, 600, rng);
   GnutellaConfig gcfg;
   OverlayNetwork net = build_gnutella_overlay(gcfg, hosts, oracle, rng);

@@ -45,8 +45,8 @@ int main() {
     config.set("queries", "2000");
     config.set("init_timer", std::to_string(timers_s[ti]));
     config.set("seed", std::to_string(1000 + si * 7919));
-    const ExperimentSpec spec = ExperimentSpec::from_config(config);
-    const ExperimentResult result = run_experiment(spec);
+    const SpecResult parsed = ExperimentSpec::from_config(config);
+    const ExperimentResult result = run_experiment(parsed.spec());
 
     std::lock_guard<std::mutex> lock(mutex);
     cells[ti].improvement.add(result.initial_value / result.final_value);

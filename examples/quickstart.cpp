@@ -29,7 +29,7 @@ int main() {
   Rng rng(42);
   const TransitStubTopology topo =
       make_transit_stub(TransitStubConfig::ts_large(), rng);
-  const LatencyOracle oracle(topo.graph);
+  const LatencyOracle oracle(topo);  // exact hierarchical engine, O(1) queries
   std::printf("physical network: %zu nodes, %zu links\n",
               topo.graph.node_count(), topo.graph.edge_count());
 

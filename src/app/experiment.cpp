@@ -1,6 +1,8 @@
 #include "app/experiment.h"
 
+#include <algorithm>
 #include <functional>
+#include <initializer_list>
 #include <memory>
 
 #include "can/can_space.h"
@@ -21,117 +23,358 @@
 namespace propsim {
 namespace {
 
-ExperimentSpec::Topology parse_topology(const std::string& v) {
-  if (v == "ts-large") return ExperimentSpec::Topology::kTsLarge;
-  if (v == "ts-small") return ExperimentSpec::Topology::kTsSmall;
-  if (v == "waxman") return ExperimentSpec::Topology::kWaxman;
-  PROPSIM_CHECK(false && "topology must be ts-large | ts-small | waxman");
-  return ExperimentSpec::Topology::kTsLarge;
-}
+/// Every key from_config understands; unknown keys are rejected with the
+/// closest of these as a suggestion.
+constexpr const char* kKnownKeys[] = {
+    "topology",        "overlay",           "protocol",
+    "nodes",           "seed",              "horizon",
+    "sample_interval", "queries",           "nhops",
+    "m",               "min_var",           "init_timer",
+    "max_init_trial",  "random_target",     "model_message_delays",
+    "selection",       "lookup_rate",       "heterogeneity",
+    "fast_fraction",   "fast_delay_ms",     "slow_delay_ms",
+    "fraction_fast_dest", "churn_join_rate", "churn_leave_rate",
+    "churn_fail_rate", "churn_start",       "churn_end",
+    "oracle",          "oracle_cache_rows",
+};
 
-ExperimentSpec::Overlay parse_overlay(const std::string& v) {
-  if (v == "gnutella") return ExperimentSpec::Overlay::kGnutella;
-  if (v == "chord") return ExperimentSpec::Overlay::kChord;
-  if (v == "pastry") return ExperimentSpec::Overlay::kPastry;
-  if (v == "tapestry") return ExperimentSpec::Overlay::kTapestry;
-  if (v == "can") return ExperimentSpec::Overlay::kCan;
-  PROPSIM_CHECK(false &&
-                "overlay must be gnutella | chord | pastry | tapestry | can");
-  return ExperimentSpec::Overlay::kGnutella;
-}
-
-ExperimentSpec::Protocol parse_protocol(const std::string& v) {
-  if (v == "none") return ExperimentSpec::Protocol::kNone;
-  if (v == "prop-g") return ExperimentSpec::Protocol::kPropG;
-  if (v == "prop-o") return ExperimentSpec::Protocol::kPropO;
-  if (v == "ltm") return ExperimentSpec::Protocol::kLtm;
-  PROPSIM_CHECK(false && "protocol must be none | prop-g | prop-o | ltm");
-  return ExperimentSpec::Protocol::kNone;
-}
-
-ExperimentSpec::Heterogeneity parse_heterogeneity(const std::string& v) {
-  if (v == "none") return ExperimentSpec::Heterogeneity::kNone;
-  if (v == "bimodal") return ExperimentSpec::Heterogeneity::kBimodal;
-  if (v == "bimodal-degree") {
-    return ExperimentSpec::Heterogeneity::kBimodalByDegree;
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t prev = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                         diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      diag = prev;
+    }
   }
-  PROPSIM_CHECK(false &&
-                "heterogeneity must be none | bimodal | bimodal-degree");
-  return ExperimentSpec::Heterogeneity::kNone;
+  return row[b.size()];
 }
+
+std::string closest_known_key(const std::string& key) {
+  std::string best;
+  std::size_t best_d = key.size();  // a full rewrite is no suggestion
+  for (const char* candidate : kKnownKeys) {
+    const std::size_t d = edit_distance(key, candidate);
+    if (d < best_d) {
+      best_d = d;
+      best = candidate;
+    }
+  }
+  return best_d <= 3 ? best : std::string();
+}
+
+/// Collects typed values and accumulates SpecIssues instead of aborting;
+/// on any error the corresponding fallback keeps the spec fields
+/// well-defined (the caller discards the spec when !ok()).
+class SpecParser {
+ public:
+  explicit SpecParser(const Config& config) : config_(config) {}
+
+  void error(const std::string& key, std::string message,
+             std::string hint = {}) {
+    errors_.push_back(SpecIssue{key, std::move(message), std::move(hint)});
+  }
+
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) {
+    if (!config_.has(key)) return fallback;
+    const auto v = config_.try_get_int(key);
+    if (!v) {
+      error(key, "expected an integer, got '" +
+                     config_.get_string(key, "") + "'");
+      return fallback;
+    }
+    return *v;
+  }
+
+  double get_double(const std::string& key, double fallback) {
+    if (!config_.has(key)) return fallback;
+    const auto v = config_.try_get_double(key);
+    if (!v) {
+      error(key,
+            "expected a number, got '" + config_.get_string(key, "") + "'");
+      return fallback;
+    }
+    return *v;
+  }
+
+  bool get_bool(const std::string& key, bool fallback) {
+    if (!config_.has(key)) return fallback;
+    const auto v = config_.try_get_bool(key);
+    if (!v) {
+      error(key, "expected a boolean, got '" +
+                     config_.get_string(key, "") + "'",
+            "use true/false, 1/0, yes/no or on/off");
+      return fallback;
+    }
+    return *v;
+  }
+
+  /// Matches the value against a fixed enum vocabulary; reports the valid
+  /// spellings on mismatch.
+  template <typename Enum>
+  Enum get_enum(const std::string& key,
+                std::initializer_list<std::pair<const char*, Enum>> choices,
+                Enum fallback) {
+    const std::string v = config_.get_string(key, "");
+    if (v.empty() && !config_.has(key)) return fallback;
+    std::string valid;
+    for (const auto& [name, value] : choices) {
+      if (v == name) return value;
+      if (!valid.empty()) valid += " | ";
+      valid += name;
+    }
+    error(key, "unknown value '" + v + "'", "must be " + valid);
+    return fallback;
+  }
+
+  void reject_unknown_keys() {
+    for (const auto& [key, value] : config_.values()) {
+      bool known = false;
+      for (const char* k : kKnownKeys) known = known || key == k;
+      if (known) continue;
+      const std::string suggestion = closest_known_key(key);
+      error(key, "unknown config key",
+            suggestion.empty() ? std::string("see README for the key table")
+                               : "did you mean '" + suggestion + "'?");
+    }
+  }
+
+  std::vector<SpecIssue> take_errors() { return std::move(errors_); }
+
+ private:
+  const Config& config_;
+  std::vector<SpecIssue> errors_;
+};
 
 }  // namespace
 
-ExperimentSpec ExperimentSpec::from_config(const Config& config) {
-  ExperimentSpec spec;
-  spec.topology = parse_topology(config.get_string("topology", "ts-large"));
-  spec.overlay = parse_overlay(config.get_string("overlay", "gnutella"));
-  spec.protocol = parse_protocol(config.get_string("protocol", "prop-g"));
+const char* to_string(ExperimentSpec::Topology v) {
+  switch (v) {
+    case ExperimentSpec::Topology::kTsLarge: return "ts-large";
+    case ExperimentSpec::Topology::kTsSmall: return "ts-small";
+    case ExperimentSpec::Topology::kWaxman: return "waxman";
+  }
+  return "?";
+}
 
-  spec.nodes = static_cast<std::size_t>(config.get_int("nodes", 1000));
-  PROPSIM_CHECK(spec.nodes >= 8);
-  spec.seed = static_cast<std::uint64_t>(config.get_int("seed", 20070901));
-  spec.horizon_s = config.get_double("horizon", 3600.0);
-  PROPSIM_CHECK(spec.horizon_s > 0.0);
+const char* to_string(ExperimentSpec::Overlay v) {
+  switch (v) {
+    case ExperimentSpec::Overlay::kGnutella: return "gnutella";
+    case ExperimentSpec::Overlay::kChord: return "chord";
+    case ExperimentSpec::Overlay::kPastry: return "pastry";
+    case ExperimentSpec::Overlay::kTapestry: return "tapestry";
+    case ExperimentSpec::Overlay::kCan: return "can";
+  }
+  return "?";
+}
+
+const char* to_string(ExperimentSpec::Protocol v) {
+  switch (v) {
+    case ExperimentSpec::Protocol::kNone: return "none";
+    case ExperimentSpec::Protocol::kPropG: return "prop-g";
+    case ExperimentSpec::Protocol::kPropO: return "prop-o";
+    case ExperimentSpec::Protocol::kLtm: return "ltm";
+  }
+  return "?";
+}
+
+const char* to_string(ExperimentSpec::Heterogeneity v) {
+  switch (v) {
+    case ExperimentSpec::Heterogeneity::kNone: return "none";
+    case ExperimentSpec::Heterogeneity::kBimodal: return "bimodal";
+    case ExperimentSpec::Heterogeneity::kBimodalByDegree:
+      return "bimodal-degree";
+  }
+  return "?";
+}
+
+const char* to_string(ExperimentSpec::OracleMode v) {
+  switch (v) {
+    case ExperimentSpec::OracleMode::kAuto: return "auto";
+    case ExperimentSpec::OracleMode::kHierarchical: return "hierarchical";
+    case ExperimentSpec::OracleMode::kDijkstra: return "dijkstra";
+  }
+  return "?";
+}
+
+const ExperimentSpec& SpecResult::spec() const {
+  PROPSIM_CHECK(ok() && "SpecResult::spec() on a failed parse");
+  return spec_storage;
+}
+
+std::string SpecResult::error_report() const {
+  std::string out;
+  for (const SpecIssue& issue : errors) {
+    out += "config: ";
+    if (!issue.key.empty()) out += issue.key + ": ";
+    out += issue.message;
+    if (!issue.hint.empty()) out += " (" + issue.hint + ")";
+    out += "\n";
+  }
+  return out;
+}
+
+SpecResult ExperimentSpec::from_config(const Config& config) {
+  SpecResult result;
+  ExperimentSpec& spec = result.spec_storage;
+  SpecParser p(config);
+  p.reject_unknown_keys();
+
+  spec.topology = p.get_enum<Topology>(
+      "topology",
+      {{"ts-large", Topology::kTsLarge},
+       {"ts-small", Topology::kTsSmall},
+       {"waxman", Topology::kWaxman}},
+      Topology::kTsLarge);
+  spec.overlay = p.get_enum<Overlay>(
+      "overlay",
+      {{"gnutella", Overlay::kGnutella},
+       {"chord", Overlay::kChord},
+       {"pastry", Overlay::kPastry},
+       {"tapestry", Overlay::kTapestry},
+       {"can", Overlay::kCan}},
+      Overlay::kGnutella);
+  spec.protocol = p.get_enum<Protocol>(
+      "protocol",
+      {{"none", Protocol::kNone},
+       {"prop-g", Protocol::kPropG},
+       {"prop-o", Protocol::kPropO},
+       {"ltm", Protocol::kLtm}},
+      Protocol::kPropG);
+
+  const std::int64_t nodes = p.get_int("nodes", 1000);
+  if (nodes < 8) {
+    p.error("nodes", "must be at least 8, got " + std::to_string(nodes));
+  }
+  spec.nodes = static_cast<std::size_t>(std::max<std::int64_t>(nodes, 8));
+  spec.seed = static_cast<std::uint64_t>(p.get_int("seed", 20070901));
+  spec.horizon_s = p.get_double("horizon", 3600.0);
+  if (spec.horizon_s <= 0.0) {
+    p.error("horizon", "must be positive");
+    spec.horizon_s = 3600.0;
+  }
   spec.sample_interval_s =
-      config.get_double("sample_interval", spec.horizon_s / 15.0);
-  PROPSIM_CHECK(spec.sample_interval_s > 0.0);
-  spec.queries = static_cast<std::size_t>(config.get_int("queries", 10000));
-  PROPSIM_CHECK(spec.queries >= 1);
+      p.get_double("sample_interval", spec.horizon_s / 15.0);
+  if (spec.sample_interval_s <= 0.0) {
+    p.error("sample_interval", "must be positive");
+    spec.sample_interval_s = spec.horizon_s / 15.0;
+  }
+  const std::int64_t queries = p.get_int("queries", 10000);
+  if (queries < 1) p.error("queries", "must be at least 1");
+  spec.queries = static_cast<std::size_t>(std::max<std::int64_t>(queries, 1));
 
   spec.prop.mode = spec.protocol == Protocol::kPropO ? PropMode::kPropO
                                                      : PropMode::kPropG;
-  spec.prop.nhops =
-      static_cast<std::size_t>(config.get_int("nhops", 2));
-  spec.prop.m = static_cast<std::size_t>(config.get_int("m", 0));
-  spec.prop.min_var = config.get_double("min_var", 0.0);
-  spec.prop.init_timer_s = config.get_double("init_timer", 60.0);
+  spec.prop.nhops = static_cast<std::size_t>(p.get_int("nhops", 2));
+  spec.prop.m = static_cast<std::size_t>(p.get_int("m", 0));
+  spec.prop.min_var = p.get_double("min_var", 0.0);
+  spec.prop.init_timer_s = p.get_double("init_timer", 60.0);
   spec.prop.max_init_trial =
-      static_cast<std::size_t>(config.get_int("max_init_trial", 10));
-  spec.prop.random_target = config.get_bool("random_target", false);
+      static_cast<std::size_t>(p.get_int("max_init_trial", 10));
+  spec.prop.random_target = p.get_bool("random_target", false);
   spec.prop.model_message_delays =
-      config.get_bool("model_message_delays", false);
-  const std::string selection = config.get_string("selection", "greedy");
-  if (selection == "greedy") {
-    spec.prop.selection = SelectionPolicy::kGreedy;
-  } else if (selection == "random") {
-    spec.prop.selection = SelectionPolicy::kRandom;
-  } else {
-    PROPSIM_CHECK(false && "selection must be greedy | random");
-  }
+      p.get_bool("model_message_delays", false);
+  spec.prop.selection = p.get_enum<SelectionPolicy>(
+      "selection",
+      {{"greedy", SelectionPolicy::kGreedy},
+       {"random", SelectionPolicy::kRandom}},
+      SelectionPolicy::kGreedy);
   spec.ltm.interval_s = spec.prop.init_timer_s;
-  spec.lookup_rate_per_s = config.get_double("lookup_rate", 0.0);
-  PROPSIM_CHECK(spec.lookup_rate_per_s >= 0.0);
-
-  spec.heterogeneity =
-      parse_heterogeneity(config.get_string("heterogeneity", "none"));
-  spec.bimodal.fast_fraction = config.get_double("fast_fraction", 0.2);
-  spec.bimodal.fast_delay_ms = config.get_double("fast_delay_ms", 10.0);
-  spec.bimodal.slow_delay_ms = config.get_double("slow_delay_ms", 100.0);
-  spec.fraction_fast_dest = config.get_double("fraction_fast_dest", -1.0);
-  if (spec.fraction_fast_dest >= 0.0) {
-    PROPSIM_CHECK(spec.heterogeneity != Heterogeneity::kNone);
-    PROPSIM_CHECK(spec.fraction_fast_dest <= 1.0);
+  spec.lookup_rate_per_s = p.get_double("lookup_rate", 0.0);
+  if (spec.lookup_rate_per_s < 0.0) {
+    p.error("lookup_rate", "must be >= 0");
+    spec.lookup_rate_per_s = 0.0;
   }
 
-  spec.churn.join_rate_per_s = config.get_double("churn_join_rate", 0.0);
-  spec.churn.leave_rate_per_s = config.get_double("churn_leave_rate", 0.0);
-  spec.churn.fail_rate_per_s = config.get_double("churn_fail_rate", 0.0);
-  spec.churn.start_s = config.get_double("churn_start", 0.0);
-  spec.churn.end_s = config.get_double("churn_end", spec.horizon_s);
+  spec.heterogeneity = p.get_enum<Heterogeneity>(
+      "heterogeneity",
+      {{"none", Heterogeneity::kNone},
+       {"bimodal", Heterogeneity::kBimodal},
+       {"bimodal-degree", Heterogeneity::kBimodalByDegree}},
+      Heterogeneity::kNone);
+  spec.bimodal.fast_fraction = p.get_double("fast_fraction", 0.2);
+  spec.bimodal.fast_delay_ms = p.get_double("fast_delay_ms", 10.0);
+  spec.bimodal.slow_delay_ms = p.get_double("slow_delay_ms", 100.0);
+  spec.fraction_fast_dest = p.get_double("fraction_fast_dest", -1.0);
+  if (spec.fraction_fast_dest >= 0.0) {
+    if (spec.heterogeneity == Heterogeneity::kNone) {
+      p.error("fraction_fast_dest",
+              "requires a heterogeneity model",
+              "set heterogeneity = bimodal or bimodal-degree");
+    }
+    if (spec.fraction_fast_dest > 1.0) {
+      p.error("fraction_fast_dest", "must be in [0, 1]");
+      spec.fraction_fast_dest = 1.0;
+    }
+  }
+
+  spec.churn.join_rate_per_s = p.get_double("churn_join_rate", 0.0);
+  spec.churn.leave_rate_per_s = p.get_double("churn_leave_rate", 0.0);
+  spec.churn.fail_rate_per_s = p.get_double("churn_fail_rate", 0.0);
+  spec.churn.start_s = p.get_double("churn_start", 0.0);
+  spec.churn.end_s = p.get_double("churn_end", spec.horizon_s);
+
+  spec.oracle_mode = p.get_enum<OracleMode>(
+      "oracle",
+      {{"auto", OracleMode::kAuto},
+       {"hierarchical", OracleMode::kHierarchical},
+       {"dijkstra", OracleMode::kDijkstra}},
+      OracleMode::kAuto);
+  const std::int64_t cache_rows = p.get_int("oracle_cache_rows", 1024);
+  if (cache_rows < 0) p.error("oracle_cache_rows", "must be >= 0");
+  spec.oracle_cache_rows =
+      static_cast<std::size_t>(std::max<std::int64_t>(cache_rows, 0));
+  if (spec.oracle_mode == OracleMode::kHierarchical &&
+      spec.topology == Topology::kWaxman) {
+    p.error("oracle",
+            "hierarchical oracle requires a transit-stub topology",
+            "use topology = ts-large | ts-small, or oracle = dijkstra");
+  }
 
   const bool has_churn = spec.churn.join_rate_per_s > 0.0 ||
                          spec.churn.leave_rate_per_s > 0.0 ||
                          spec.churn.fail_rate_per_s > 0.0;
   if (spec.overlay != Overlay::kGnutella) {
     // LTM and the churn process are unstructured-overlay machinery.
-    PROPSIM_CHECK(spec.protocol != Protocol::kLtm);
-    PROPSIM_CHECK(!has_churn);
+    if (spec.protocol == Protocol::kLtm) {
+      p.error("protocol",
+              "ltm requires the unstructured gnutella overlay",
+              std::string("overlay is ") + to_string(spec.overlay));
+    }
+    if (has_churn) {
+      p.error("", "churn rates require the unstructured gnutella overlay",
+              std::string("overlay is ") + to_string(spec.overlay));
+    }
     // PROP-O rewires edges, which would corrupt a DHT's routing
     // structure; the paper applies it to unstructured systems only.
-    PROPSIM_CHECK(spec.protocol != Protocol::kPropO);
+    if (spec.protocol == Protocol::kPropO) {
+      p.error("protocol",
+              "prop-o rewires overlay edges and only applies to gnutella",
+              std::string("overlay is ") + to_string(spec.overlay));
+    }
   }
-  return spec;
+  result.errors = p.take_errors();
+  return result;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+ExperimentResult::counters() const {
+  return {
+      {"exchanges", exchanges},
+      {"attempts", attempts},
+      {"ltm_rounds", ltm_rounds},
+      {"control_messages", control_messages},
+      {"churn_joins", churn_joins},
+      {"churn_leaves", churn_leaves},
+      {"churn_failures", churn_failures},
+      {"commit_conflicts", commit_conflicts},
+      {"lookups_issued", lookups_issued},
+      {"lookups_unreachable", lookups_unreachable},
+  };
 }
 
 ExperimentResult run_experiment(const ExperimentSpec& spec) {
@@ -163,7 +406,20 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
     }
   }
   PROPSIM_CHECK(spec.nodes + spec.nodes / 4 <= stub_pool.size());
-  LatencyOracle oracle(*physical);
+
+  // Oracle engine: exact hierarchical tables on transit-stub graphs
+  // (unless the spec forces Dijkstra rows), LRU-bounded rows elsewhere.
+  LatencyOracleOptions oracle_options;
+  oracle_options.max_cached_rows = spec.oracle_cache_rows;
+  std::unique_ptr<LatencyOracle> oracle_owner;
+  if (ts && spec.oracle_mode != ExperimentSpec::OracleMode::kDijkstra) {
+    oracle_owner = std::make_unique<LatencyOracle>(*ts, oracle_options);
+  } else {
+    PROPSIM_CHECK(spec.oracle_mode !=
+                  ExperimentSpec::OracleMode::kHierarchical);
+    oracle_owner = std::make_unique<LatencyOracle>(*physical, oracle_options);
+  }
+  LatencyOracle& oracle = *oracle_owner;
 
   // --- Overlay hosts (plus spares for churn joins). ---
   rng.shuffle(stub_pool);

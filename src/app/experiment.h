@@ -24,10 +24,18 @@
 //   fraction_fast_dest = <0..1>   (lookup destination bias; -1 uniform)
 //   churn_join_rate, churn_leave_rate, churn_fail_rate = <per second>
 //   churn_start, churn_end = <seconds>
+//   oracle     = auto | hierarchical | dijkstra       (default auto)
+//   oracle_cache_rows = <int>                         (default 1024)
+//
+// from_config returns a SpecResult: structured per-key errors (including
+// unknown keys, with did-you-mean suggestions) instead of aborting the
+// process, so tools can report every problem at once.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "baselines/ltm.h"
 #include "common/config.h"
@@ -37,6 +45,8 @@
 #include "workload/heterogeneity.h"
 
 namespace propsim {
+
+struct SpecResult;
 
 struct ExperimentSpec {
   enum class Topology { kTsLarge, kTsSmall, kWaxman };
@@ -67,12 +77,55 @@ struct ExperimentSpec {
   /// Event-driven lookup arrivals per second (0 = snapshot metric only).
   double lookup_rate_per_s = 0.0;
 
-  /// Parses and validates; check-fails with a message on bad combos
-  /// (e.g. LTM or churn on a structured overlay).
-  static ExperimentSpec from_config(const Config& config);
+  /// Latency-oracle engine selection. kAuto picks the exact hierarchical
+  /// engine on transit-stub topologies and Dijkstra rows elsewhere.
+  enum class OracleMode { kAuto, kHierarchical, kDijkstra };
+  OracleMode oracle_mode = OracleMode::kAuto;
+  /// LRU bound on resident Dijkstra rows (0 = unbounded).
+  std::size_t oracle_cache_rows = 1024;
+
+  /// Parses and validates. Never aborts on bad input: every problem —
+  /// unknown key, malformed value, out-of-range value, invalid
+  /// combination (e.g. LTM or churn on a structured overlay) — is
+  /// reported as a SpecIssue in the returned SpecResult.
+  static SpecResult from_config(const Config& config);
+};
+
+/// Display names for the spec enums (also used in error messages and the
+/// JSON output schema).
+const char* to_string(ExperimentSpec::Topology v);
+const char* to_string(ExperimentSpec::Overlay v);
+const char* to_string(ExperimentSpec::Protocol v);
+const char* to_string(ExperimentSpec::Heterogeneity v);
+const char* to_string(ExperimentSpec::OracleMode v);
+
+/// One problem found while parsing a config into an ExperimentSpec.
+struct SpecIssue {
+  std::string key;      // offending key; empty for cross-key constraints
+  std::string message;  // what is wrong
+  std::string hint;     // optional fix ("did you mean ...", valid values)
+};
+
+/// Outcome of ExperimentSpec::from_config: either a valid spec, or the
+/// full list of problems (parsing continues past the first error so a
+/// config's issues are reported together).
+struct SpecResult {
+  bool ok() const { return errors.empty(); }
+  /// The parsed spec; check-fails unless ok().
+  const ExperimentSpec& spec() const;
+  /// All issues, in config-key order; empty when ok().
+  std::vector<SpecIssue> errors;
+  /// One "config: <key>: <message> (<hint>)" line per issue.
+  std::string error_report() const;
+
+  ExperimentSpec spec_storage;  // valid only when ok()
 };
 
 struct ExperimentResult {
+  /// Counter-name registry version for counters(): bumped whenever an
+  /// existing name changes meaning or disappears; pure additions keep it.
+  static constexpr int kCountersVersion = 1;
+
   /// "lookup_ms" for unstructured overlays, "stretch" for DHTs.
   std::string metric_name;
   TimeSeries series;
@@ -97,6 +150,12 @@ struct ExperimentResult {
   std::uint64_t lookups_unreachable = 0;
   double observed_p50_ms = 0.0;
   double observed_p95_ms = 0.0;
+
+  /// Stable name -> value view of the protocol counters above, in a
+  /// fixed order, so consumers (JSON output, sweep aggregation, new
+  /// protocols) never need struct edits to pick up a new counter. Names
+  /// are governed by kCountersVersion.
+  std::vector<std::pair<std::string, std::uint64_t>> counters() const;
 };
 
 ExperimentResult run_experiment(const ExperimentSpec& spec);

@@ -1,0 +1,62 @@
+#include "app/result_json.h"
+
+namespace propsim {
+
+Json timeseries_json(const TimeSeries& series) {
+  Json out = Json::array();
+  for (const auto& p : series.points()) {
+    Json point = Json::object();
+    point.set("t", p.time).set("value", p.value);
+    out.push_back(std::move(point));
+  }
+  return out;
+}
+
+Json experiment_result_json(const ExperimentSpec& spec,
+                            const ExperimentResult& result) {
+  Json out = Json::object();
+  out.set("schema", "propsim.result");
+  out.set("version", kResultSchemaVersion);
+
+  Json spec_json = Json::object();
+  spec_json.set("topology", to_string(spec.topology))
+      .set("overlay", to_string(spec.overlay))
+      .set("protocol", to_string(spec.protocol))
+      .set("nodes", static_cast<std::uint64_t>(spec.nodes))
+      .set("seed", static_cast<std::uint64_t>(spec.seed))
+      .set("horizon_s", spec.horizon_s)
+      .set("sample_interval_s", spec.sample_interval_s)
+      .set("queries", static_cast<std::uint64_t>(spec.queries))
+      .set("oracle", to_string(spec.oracle_mode));
+  out.set("spec", std::move(spec_json));
+
+  Json metric = Json::object();
+  metric.set("name", result.metric_name)
+      .set("initial", result.initial_value)
+      .set("final", result.final_value)
+      .set("series", timeseries_json(result.series));
+  out.set("metric", std::move(metric));
+
+  Json counters = Json::object();
+  for (const auto& [name, value] : result.counters()) {
+    counters.set(name, value);
+  }
+  out.set("counters", std::move(counters));
+  out.set("counters_version", ExperimentResult::kCountersVersion);
+
+  if (result.lookups_issued > 0) {
+    Json traffic = Json::object();
+    traffic.set("issued", result.lookups_issued)
+        .set("unreachable", result.lookups_unreachable)
+        .set("p50_ms", result.observed_p50_ms)
+        .set("p95_ms", result.observed_p95_ms)
+        .set("observed", timeseries_json(result.observed));
+    out.set("traffic", std::move(traffic));
+  }
+
+  out.set("connected", result.connected);
+  out.set("population", static_cast<std::uint64_t>(result.final_population));
+  return out;
+}
+
+}  // namespace propsim

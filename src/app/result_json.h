@@ -1,0 +1,35 @@
+// Stable machine-readable serialization of experiment results.
+//
+// The `propsim.result` schema (docs/PERF.md documents every field):
+//
+//   {
+//     "schema": "propsim.result", "version": 1,
+//     "spec": { topology, overlay, protocol, nodes, seed, horizon_s,
+//               sample_interval_s, queries, oracle },
+//     "metric": { name, initial, final, series: [{t, value}, ...] },
+//     "counters": { <name>: <value>, ... },   // ExperimentResult::counters()
+//     "counters_version": 1,
+//     "traffic": { issued, unreachable, p50_ms, p95_ms,
+//                  observed: [{t, value}, ...] },  // only when lookups ran
+//     "connected": bool, "population": int
+//   }
+//
+// Version bumps accompany field removals or renames; additions are
+// backward-compatible and do not bump.
+#pragma once
+
+#include "app/experiment.h"
+#include "common/json.h"
+
+namespace propsim {
+
+inline constexpr int kResultSchemaVersion = 1;
+
+/// A {t, value} array for a time series.
+Json timeseries_json(const TimeSeries& series);
+
+/// The full result under the `propsim.result` schema above.
+Json experiment_result_json(const ExperimentSpec& spec,
+                            const ExperimentResult& result);
+
+}  // namespace propsim

@@ -75,33 +75,54 @@ std::string Config::require_string(const std::string& key) const {
 
 std::int64_t Config::get_int(const std::string& key,
                              std::int64_t fallback) const {
-  const auto it = values_.find(key);
-  if (it == values_.end()) return fallback;
-  char* end = nullptr;
-  const long long v = std::strtoll(it->second.c_str(), &end, 10);
-  PROPSIM_CHECK(end != nullptr && *end == '\0');
-  return v;
+  if (!has(key)) return fallback;
+  const auto v = try_get_int(key);
+  PROPSIM_CHECK(v.has_value());
+  return *v;
 }
 
 double Config::get_double(const std::string& key, double fallback) const {
-  const auto it = values_.find(key);
-  if (it == values_.end()) return fallback;
-  char* end = nullptr;
-  const double v = std::strtod(it->second.c_str(), &end);
-  PROPSIM_CHECK(end != nullptr && *end == '\0');
-  return v;
+  if (!has(key)) return fallback;
+  const auto v = try_get_double(key);
+  PROPSIM_CHECK(v.has_value());
+  return *v;
 }
 
 bool Config::get_bool(const std::string& key, bool fallback) const {
+  if (!has(key)) return fallback;
+  const auto v = try_get_bool(key);
+  PROPSIM_CHECK(v.has_value() && "config value is not a boolean");
+  return *v;
+}
+
+std::optional<std::int64_t> Config::try_get_int(
+    const std::string& key) const {
   const auto it = values_.find(key);
-  if (it == values_.end()) return fallback;
+  if (it == values_.end() || it->second.empty()) return std::nullopt;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return std::nullopt;
+  return v;
+}
+
+std::optional<double> Config::try_get_double(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end() || it->second.empty()) return std::nullopt;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == nullptr || *end != '\0') return std::nullopt;
+  return v;
+}
+
+std::optional<bool> Config::try_get_bool(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
   std::string v = it->second;
   std::transform(v.begin(), v.end(), v.begin(),
                  [](unsigned char c) { return std::tolower(c); });
   if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
   if (v == "false" || v == "0" || v == "no" || v == "off") return false;
-  PROPSIM_CHECK(false && "config value is not a boolean");
-  return fallback;
+  return std::nullopt;
 }
 
 void Config::set(const std::string& key, const std::string& value) {

@@ -31,6 +31,13 @@ class Config {
   double get_double(const std::string& key, double fallback) const;
   bool get_bool(const std::string& key, bool fallback) const;
 
+  /// Non-aborting variants for error-reporting parsers: nullopt when the
+  /// key is missing or its value does not parse (use has() to tell the
+  /// two apart), where get_* would check-fail on a malformed value.
+  std::optional<std::int64_t> try_get_int(const std::string& key) const;
+  std::optional<double> try_get_double(const std::string& key) const;
+  std::optional<bool> try_get_bool(const std::string& key) const;
+
   /// Required variants: check-fail with the key name when missing.
   std::string require_string(const std::string& key) const;
 

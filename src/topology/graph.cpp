@@ -87,4 +87,22 @@ double Graph::average_degree() const {
          static_cast<double>(adjacency_.size());
 }
 
+CsrGraph::CsrGraph(const Graph& g) {
+  const std::size_t n = g.node_count();
+  offsets_.assign(n + 1, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    offsets_[u + 1] = offsets_[u] + g.degree(u);
+  }
+  targets_.resize(offsets_[n]);
+  weights_.resize(offsets_[n]);
+  for (NodeId u = 0; u < n; ++u) {
+    std::size_t at = offsets_[u];
+    for (const Graph::Edge& e : g.neighbors(u)) {
+      targets_[at] = e.to;
+      weights_[at] = e.weight;
+      ++at;
+    }
+  }
+}
+
 }  // namespace propsim

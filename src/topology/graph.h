@@ -62,4 +62,37 @@ class Graph {
   std::size_t edge_count_ = 0;
 };
 
+/// Compressed-sparse-row snapshot of a Graph: all adjacency in three flat
+/// arrays, so traversal-heavy code (Dijkstra, the latency oracle) walks
+/// contiguous memory instead of chasing one heap vector per node. Build
+/// once after the graph is final; the snapshot does not track later edits.
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+  explicit CsrGraph(const Graph& g);
+
+  std::size_t node_count() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  std::size_t edge_count() const { return targets_.size() / 2; }
+
+  /// Neighbor ids of `u`; weights() is index-aligned with this span.
+  std::span<const NodeId> targets(NodeId u) const {
+    PROPSIM_DCHECK(u + 1 < offsets_.size());
+    return {targets_.data() + offsets_[u],
+            offsets_[u + 1] - offsets_[u]};
+  }
+  std::span<const double> weights(NodeId u) const {
+    PROPSIM_DCHECK(u + 1 < offsets_.size());
+    return {weights_.data() + offsets_[u],
+            offsets_[u + 1] - offsets_[u]};
+  }
+
+ private:
+  // offsets_[u]..offsets_[u+1] brackets u's slice of targets_/weights_.
+  std::vector<std::size_t> offsets_;
+  std::vector<NodeId> targets_;
+  std::vector<double> weights_;
+};
+
 }  // namespace propsim

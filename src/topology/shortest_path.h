@@ -11,6 +11,10 @@ namespace propsim {
 /// source -> i, or +infinity if unreachable.
 std::vector<double> dijkstra(const Graph& g, NodeId source);
 
+/// As above over a CSR snapshot — the form the latency oracle uses on its
+/// hot path, where the flat adjacency arrays matter.
+std::vector<double> dijkstra(const CsrGraph& g, NodeId source);
+
 /// As above but also returns the predecessor of each node on its shortest
 /// path (kInvalidNode for the source and unreachable nodes).
 struct ShortestPathTree {

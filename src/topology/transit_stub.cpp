@@ -130,8 +130,14 @@ TransitStubTopology make_transit_stub(const TransitStubConfig& config,
                               config.stub_edge_probability,
                               config.stub_stub_ms, rng);
       // Attach the stub domain to its transit node through a random member.
-      topo.graph.add_edge(rng.pick(stub_members), transit,
-                          config.stub_transit_ms);
+      // Exactly one attachment edge per domain — the hierarchical oracle
+      // relies on this (see StubDomain).
+      const NodeId gateway = rng.pick(stub_members);
+      topo.graph.add_edge(gateway, transit, config.stub_transit_ms);
+      topo.stub_domains.push_back(
+          StubDomain{stub_members.front(),
+                     static_cast<std::uint32_t>(stub_members.size()), gateway,
+                     transit, config.stub_transit_ms});
       ++stub_domain_index;
     }
   }

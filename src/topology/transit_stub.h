@@ -57,6 +57,21 @@ struct TransitStubConfig {
   static TransitStubConfig ts_small();
 };
 
+/// Per-stub-domain attachment record. The generator connects every stub
+/// domain to the backbone through exactly one stub-transit edge; that
+/// single-gateway property is what makes the hierarchical latency oracle
+/// exact, so it is exported explicitly rather than re-derived.
+struct StubDomain {
+  /// Members are the contiguous id range [first, first + size).
+  NodeId first = kInvalidNode;
+  std::uint32_t size = 0;
+  /// The stub member carrying the attachment edge.
+  NodeId gateway = kInvalidNode;
+  /// The transit node the domain hangs off, and the attachment latency.
+  NodeId transit = kInvalidNode;
+  double attach_ms = 0.0;
+};
+
 /// The generated physical network plus per-node metadata.
 struct TransitStubTopology {
   Graph graph;
@@ -66,6 +81,9 @@ struct TransitStubTopology {
   std::vector<std::uint32_t> domain;
   std::vector<NodeId> transit_nodes;
   std::vector<NodeId> stub_nodes;
+  /// One record per stub domain, indexed by the global stub domain id
+  /// stored in `domain`.
+  std::vector<StubDomain> stub_domains;
   std::string preset_name;
 
   std::size_t stub_domain_count = 0;

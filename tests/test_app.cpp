@@ -55,8 +55,27 @@ TEST(Config, SetOverrides) {
 
 // ---------------------------------------------------- ExperimentSpec ----
 
+/// Parses a config expected to be valid; a parse failure fails the test
+/// with the full per-key report.
+ExperimentSpec must_parse(const Config& config) {
+  const SpecResult parsed = ExperimentSpec::from_config(config);
+  EXPECT_TRUE(parsed.ok()) << parsed.error_report();
+  return parsed.ok() ? parsed.spec() : ExperimentSpec{};
+}
+
+/// True when some issue's key or message contains `needle`.
+bool mentions(const SpecResult& result, const std::string& needle) {
+  for (const SpecIssue& issue : result.errors) {
+    if (issue.key.find(needle) != std::string::npos ||
+        issue.message.find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
 TEST(ExperimentSpec, DefaultsAreThePaperDefaults) {
-  const auto spec = ExperimentSpec::from_config(Config::parse(""));
+  const auto spec = must_parse(Config::parse(""));
   EXPECT_EQ(spec.overlay, ExperimentSpec::Overlay::kGnutella);
   EXPECT_EQ(spec.protocol, ExperimentSpec::Protocol::kPropG);
   EXPECT_EQ(spec.nodes, 1000u);
@@ -64,45 +83,78 @@ TEST(ExperimentSpec, DefaultsAreThePaperDefaults) {
   EXPECT_DOUBLE_EQ(spec.prop.init_timer_s, 60.0);
   EXPECT_EQ(spec.prop.max_init_trial, 10u);
   EXPECT_DOUBLE_EQ(spec.prop.min_var, 0.0);
+  EXPECT_EQ(spec.oracle_mode, ExperimentSpec::OracleMode::kAuto);
+  EXPECT_EQ(spec.oracle_cache_rows, 1024u);
 }
 
 TEST(ExperimentSpec, ParsesFullSpec) {
-  const auto spec = ExperimentSpec::from_config(Config::parse(
+  const auto spec = must_parse(Config::parse(
       "topology = ts-small\noverlay = chord\nprotocol = prop-g\n"
       "nodes = 300\nseed = 7\nhorizon = 100\nsample_interval = 10\n"
-      "queries = 500\nnhops = 4\n"));
+      "queries = 500\nnhops = 4\noracle = dijkstra\n"
+      "oracle_cache_rows = 64\n"));
   EXPECT_EQ(spec.topology, ExperimentSpec::Topology::kTsSmall);
   EXPECT_EQ(spec.overlay, ExperimentSpec::Overlay::kChord);
   EXPECT_EQ(spec.nodes, 300u);
   EXPECT_EQ(spec.seed, 7u);
   EXPECT_EQ(spec.prop.nhops, 4u);
+  EXPECT_EQ(spec.oracle_mode, ExperimentSpec::OracleMode::kDijkstra);
+  EXPECT_EQ(spec.oracle_cache_rows, 64u);
 }
 
-using ExperimentSpecDeath = ExperimentSpec;
-
-TEST(ExperimentSpecDeathTest, RejectsLtmOnStructuredOverlay) {
-  EXPECT_DEATH(ExperimentSpec::from_config(
-                   Config::parse("overlay = chord\nprotocol = ltm\n")),
-               "check failed");
+TEST(ExperimentSpec, RejectsLtmOnStructuredOverlay) {
+  const auto result = ExperimentSpec::from_config(
+      Config::parse("overlay = chord\nprotocol = ltm\n"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(mentions(result, "protocol"));
 }
 
-TEST(ExperimentSpecDeathTest, RejectsPropOOnStructuredOverlay) {
-  EXPECT_DEATH(ExperimentSpec::from_config(
-                   Config::parse("overlay = pastry\nprotocol = prop-o\n")),
-               "check failed");
+TEST(ExperimentSpec, RejectsPropOOnStructuredOverlay) {
+  const auto result = ExperimentSpec::from_config(
+      Config::parse("overlay = pastry\nprotocol = prop-o\n"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(mentions(result, "protocol"));
 }
 
-TEST(ExperimentSpecDeathTest, RejectsChurnOnStructuredOverlay) {
-  EXPECT_DEATH(
-      ExperimentSpec::from_config(Config::parse(
-          "overlay = can\nchurn_join_rate = 0.1\nchurn_leave_rate = 0.1\n")),
-      "check failed");
+TEST(ExperimentSpec, RejectsChurnOnStructuredOverlay) {
+  const auto result = ExperimentSpec::from_config(Config::parse(
+      "overlay = can\nchurn_join_rate = 0.1\nchurn_leave_rate = 0.1\n"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(mentions(result, "churn"));
 }
 
-TEST(ExperimentSpecDeathTest, RejectsBiasWithoutHeterogeneity) {
-  EXPECT_DEATH(ExperimentSpec::from_config(
-                   Config::parse("fraction_fast_dest = 0.5\n")),
-               "check failed");
+TEST(ExperimentSpec, RejectsBiasWithoutHeterogeneity) {
+  const auto result = ExperimentSpec::from_config(
+      Config::parse("fraction_fast_dest = 0.5\n"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(mentions(result, "fraction_fast_dest"));
+}
+
+TEST(ExperimentSpec, UnknownKeyGetsSuggestion) {
+  const auto result =
+      ExperimentSpec::from_config(Config::parse("nodess = 64\n"));
+  ASSERT_EQ(result.errors.size(), 1u);
+  EXPECT_EQ(result.errors[0].key, "nodess");
+  EXPECT_NE(result.errors[0].hint.find("nodes"), std::string::npos);
+  EXPECT_NE(result.error_report().find("nodess"), std::string::npos);
+}
+
+TEST(ExperimentSpec, CollectsEveryProblemAtOnce) {
+  const auto result = ExperimentSpec::from_config(Config::parse(
+      "nodes = abc\nprotocol = prop-x\nhorizont = 100\nqueries = 0\n"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_GE(result.errors.size(), 4u);
+  EXPECT_TRUE(mentions(result, "nodes"));
+  EXPECT_TRUE(mentions(result, "protocol"));
+  EXPECT_TRUE(mentions(result, "horizont"));
+  EXPECT_TRUE(mentions(result, "queries"));
+}
+
+TEST(ExperimentSpec, RejectsHierarchicalOracleOnWaxman) {
+  const auto result = ExperimentSpec::from_config(
+      Config::parse("topology = waxman\noracle = hierarchical\n"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(mentions(result, "oracle"));
 }
 
 // --------------------------------------------------------------- sweep ----
@@ -159,7 +211,7 @@ Config small_base(const std::string& extra) {
 }
 
 TEST(RunExperiment, GnutellaPropGImproves) {
-  const auto spec = ExperimentSpec::from_config(small_base(""));
+  const auto spec = must_parse(small_base(""));
   const auto result = run_experiment(spec);
   EXPECT_EQ(result.metric_name, "lookup_ms");
   EXPECT_LT(result.final_value, result.initial_value);
@@ -171,7 +223,7 @@ TEST(RunExperiment, GnutellaPropGImproves) {
 
 TEST(RunExperiment, ChordStretchImproves) {
   const auto spec =
-      ExperimentSpec::from_config(small_base("overlay = chord\n"));
+      must_parse(small_base("overlay = chord\n"));
   const auto result = run_experiment(spec);
   EXPECT_EQ(result.metric_name, "stretch");
   EXPECT_GT(result.initial_value, 1.0);
@@ -180,7 +232,7 @@ TEST(RunExperiment, ChordStretchImproves) {
 
 TEST(RunExperiment, PastryTapestryAndCanRun) {
   for (const std::string overlay : {"pastry", "tapestry", "can"}) {
-    const auto spec = ExperimentSpec::from_config(
+    const auto spec = must_parse(
         small_base("overlay = " + overlay + "\n"));
     const auto result = run_experiment(spec);
     EXPECT_GT(result.initial_value, 1.0) << overlay;
@@ -190,7 +242,7 @@ TEST(RunExperiment, PastryTapestryAndCanRun) {
 
 TEST(RunExperiment, ProtocolNoneIsFlat) {
   const auto spec =
-      ExperimentSpec::from_config(small_base("protocol = none\n"));
+      must_parse(small_base("protocol = none\n"));
   const auto result = run_experiment(spec);
   EXPECT_DOUBLE_EQ(result.final_value, result.initial_value);
   EXPECT_EQ(result.exchanges, 0u);
@@ -198,14 +250,14 @@ TEST(RunExperiment, ProtocolNoneIsFlat) {
 
 TEST(RunExperiment, LtmRunsOnGnutella) {
   const auto spec =
-      ExperimentSpec::from_config(small_base("protocol = ltm\n"));
+      must_parse(small_base("protocol = ltm\n"));
   const auto result = run_experiment(spec);
   EXPECT_GT(result.ltm_rounds, 0u);
   EXPECT_LT(result.final_value, result.initial_value);
 }
 
 TEST(RunExperiment, ChurnKeepsRunning) {
-  const auto spec = ExperimentSpec::from_config(small_base(
+  const auto spec = must_parse(small_base(
       "churn_join_rate = 0.05\nchurn_leave_rate = 0.05\n"
       "churn_fail_rate = 0.02\nchurn_start = 50\nchurn_end = 300\n"));
   const auto result = run_experiment(spec);
@@ -215,7 +267,7 @@ TEST(RunExperiment, ChurnKeepsRunning) {
 }
 
 TEST(RunExperiment, HeterogeneityBiasedWorkload) {
-  const auto spec = ExperimentSpec::from_config(small_base(
+  const auto spec = must_parse(small_base(
       "protocol = prop-o\nheterogeneity = bimodal-degree\n"
       "fraction_fast_dest = 0.9\n"));
   const auto result = run_experiment(spec);
@@ -223,7 +275,7 @@ TEST(RunExperiment, HeterogeneityBiasedWorkload) {
 }
 
 TEST(RunExperiment, DeterministicForSeed) {
-  const auto spec = ExperimentSpec::from_config(small_base("seed = 99\n"));
+  const auto spec = must_parse(small_base("seed = 99\n"));
   const auto a = run_experiment(spec);
   const auto b = run_experiment(spec);
   EXPECT_DOUBLE_EQ(a.final_value, b.final_value);
@@ -231,7 +283,7 @@ TEST(RunExperiment, DeterministicForSeed) {
 }
 
 TEST(RunExperiment, EventDrivenLookupTraffic) {
-  const auto spec = ExperimentSpec::from_config(
+  const auto spec = must_parse(
       small_base("lookup_rate = 4\n"));
   const auto result = run_experiment(spec);
   EXPECT_GT(result.lookups_issued, 800u);
@@ -243,7 +295,7 @@ TEST(RunExperiment, EventDrivenLookupTraffic) {
 }
 
 TEST(RunExperiment, MessageDelaysAndSelectionKeys) {
-  const auto spec = ExperimentSpec::from_config(small_base(
+  const auto spec = must_parse(small_base(
       "protocol = prop-o\nmodel_message_delays = true\n"
       "selection = random\n"));
   EXPECT_TRUE(spec.prop.model_message_delays);
@@ -253,7 +305,7 @@ TEST(RunExperiment, MessageDelaysAndSelectionKeys) {
 }
 
 TEST(RunExperiment, ChordLookupTrafficUsesRouting) {
-  const auto spec = ExperimentSpec::from_config(
+  const auto spec = must_parse(
       small_base("overlay = chord\nlookup_rate = 4\n"));
   const auto result = run_experiment(spec);
   EXPECT_GT(result.lookups_issued, 0u);
@@ -262,10 +314,40 @@ TEST(RunExperiment, ChordLookupTrafficUsesRouting) {
 }
 
 TEST(RunExperiment, WaxmanTopologyWorks) {
-  const auto spec = ExperimentSpec::from_config(
+  const auto spec = must_parse(
       small_base("topology = waxman\nnodes = 48\n"));
   const auto result = run_experiment(spec);
   EXPECT_LT(result.final_value, result.initial_value);
+}
+
+TEST(RunExperiment, OracleModesAgree) {
+  // The hierarchical engine (auto on transit-stub) and the Dijkstra
+  // fallback must drive the simulation to identical results.
+  const auto hier = run_experiment(must_parse(small_base("")));
+  const auto dijk =
+      run_experiment(must_parse(small_base("oracle = dijkstra\n")));
+  EXPECT_DOUBLE_EQ(hier.initial_value, dijk.initial_value);
+  EXPECT_DOUBLE_EQ(hier.final_value, dijk.final_value);
+  EXPECT_EQ(hier.exchanges, dijk.exchanges);
+  EXPECT_EQ(hier.control_messages, dijk.control_messages);
+}
+
+TEST(ExperimentResult, CountersViewIsStable) {
+  const auto result = run_experiment(must_parse(small_base("")));
+  EXPECT_EQ(ExperimentResult::kCountersVersion, 1);
+  const auto counters = result.counters();
+  ASSERT_GE(counters.size(), 4u);
+  // Spot-check the fixed order and that values mirror the struct.
+  EXPECT_EQ(counters[0].first, "exchanges");
+  EXPECT_EQ(counters[0].second, result.exchanges);
+  bool found_control = false;
+  for (const auto& [name, value] : counters) {
+    if (name == "control_messages") {
+      found_control = true;
+      EXPECT_EQ(value, result.control_messages);
+    }
+  }
+  EXPECT_TRUE(found_control);
 }
 
 }  // namespace

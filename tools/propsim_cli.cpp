@@ -1,11 +1,14 @@
 // propsim_cli — run a config-driven overlay-optimization experiment.
 //
-//   propsim_cli experiment.conf [key=value ...]
+//   propsim_cli [--format csv|json] experiment.conf [key=value ...]
 //   propsim_cli key=value [key=value ...]
 //
 // Config keys are documented in src/app/experiment.h; command-line
-// key=value pairs override file values. Prints a summary and the metric
-// time series as CSV.
+// key=value pairs override file values. The default output is a human
+// summary plus the metric time series as CSV; `--format json` (alias
+// `--json`) emits the full result under the stable `propsim.result`
+// schema (src/app/result_json.h). Bad configs are reported key-by-key
+// with suggestions and exit code 2.
 //
 // Example:
 //   propsim_cli overlay=chord protocol=prop-g nodes=500 horizon=1800
@@ -14,18 +17,18 @@
 #include <string>
 
 #include "app/experiment.h"
-#include "common/json.h"
+#include "app/result_json.h"
 #include "common/timeseries.h"
 
 namespace {
 
 void usage(const char* argv0) {
   std::printf(
-      "usage: %s [config-file] [key=value ...]\n"
+      "usage: %s [--format csv|json] [config-file] [key=value ...]\n"
       "\n"
       "key reference (defaults in parentheses):\n"
       "  topology   ts-large|ts-small|waxman   (ts-large)\n"
-      "  overlay    gnutella|chord|pastry|can  (gnutella)\n"
+      "  overlay    gnutella|chord|pastry|tapestry|can  (gnutella)\n"
       "  protocol   none|prop-g|prop-o|ltm     (prop-g)\n"
       "  nodes (1000)  seed (20070901)  horizon (3600 s)\n"
       "  sample_interval (horizon/15)  queries (10000)\n"
@@ -35,7 +38,9 @@ void usage(const char* argv0) {
       "  fast_fraction (0.2) fast_delay_ms (10) slow_delay_ms (100)\n"
       "  fraction_fast_dest (-1 = uniform workload)\n"
       "  churn_join_rate / churn_leave_rate / churn_fail_rate (0 /s)\n"
-      "  churn_start (0) churn_end (horizon)\n",
+      "  churn_start (0) churn_end (horizon)\n"
+      "  oracle auto|hierarchical|dijkstra (auto)\n"
+      "  oracle_cache_rows (1024)\n",
       argv0);
 }
 
@@ -52,8 +57,21 @@ int main(int argc, char** argv) {
       usage(argv[0]);
       return 0;
     }
-    if (arg == "--json") {
+    if (arg == "--json") {  // back-compat alias for --format json
       json_output = true;
+      continue;
+    }
+    if (arg == "--format" && i + 1 < argc) {
+      const std::string format = argv[++i];
+      if (format == "json") {
+        json_output = true;
+      } else if (format == "csv") {
+        json_output = false;
+      } else {
+        std::fprintf(stderr, "unknown --format '%s' (csv | json)\n",
+                     format.c_str());
+        return 2;
+      }
       continue;
     }
     const auto eq = arg.find('=');
@@ -68,46 +86,23 @@ int main(int argc, char** argv) {
     }
   }
 
-  const ExperimentSpec spec = ExperimentSpec::from_config(config);
+  const SpecResult parsed = ExperimentSpec::from_config(config);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s", parsed.error_report().c_str());
+    std::fprintf(stderr, "propsim_cli: %zu config error(s); see --help\n",
+                 parsed.errors.size());
+    return 2;
+  }
+  const ExperimentSpec& spec = parsed.spec();
+
   if (json_output) {
     const ExperimentResult result = run_experiment(spec);
-    Json out = Json::object();
-    out.set("overlay", config.get_string("overlay", "gnutella"));
-    out.set("protocol", config.get_string("protocol", "prop-g"));
-    out.set("nodes", static_cast<std::uint64_t>(spec.nodes));
-    out.set("seed", static_cast<std::uint64_t>(spec.seed));
-    out.set("horizon_s", spec.horizon_s);
-    out.set("metric", result.metric_name);
-    out.set("initial", result.initial_value);
-    out.set("final", result.final_value);
-    out.set("exchanges", result.exchanges);
-    out.set("attempts", result.attempts);
-    out.set("commit_conflicts", result.commit_conflicts);
-    out.set("control_messages", result.control_messages);
-    out.set("connected", result.connected);
-    out.set("population", static_cast<std::uint64_t>(result.final_population));
-    Json series = Json::array();
-    for (const auto& p : result.series.points()) {
-      Json point = Json::object();
-      point.set("t", p.time).set("value", p.value);
-      series.push_back(std::move(point));
-    }
-    out.set("series", std::move(series));
-    if (result.lookups_issued > 0) {
-      Json traffic = Json::object();
-      traffic.set("issued", result.lookups_issued)
-          .set("unreachable", result.lookups_unreachable)
-          .set("p50_ms", result.observed_p50_ms)
-          .set("p95_ms", result.observed_p95_ms);
-      out.set("traffic", std::move(traffic));
-    }
-    std::printf("%s\n", out.dump(2).c_str());
+    std::printf("%s\n", experiment_result_json(spec, result).dump(2).c_str());
     return result.connected ? 0 : 1;
   }
   std::printf("propsim experiment: overlay=%s protocol=%s nodes=%zu "
               "horizon=%.0fs seed=%llu\n",
-              config.get_string("overlay", "gnutella").c_str(),
-              config.get_string("protocol", "prop-g").c_str(), spec.nodes,
+              to_string(spec.overlay), to_string(spec.protocol), spec.nodes,
               spec.horizon_s,
               static_cast<unsigned long long>(spec.seed));
 

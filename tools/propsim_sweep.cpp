@@ -2,13 +2,16 @@
 //
 //   propsim_sweep [base.conf] [key=value ...]
 //                 sweep:nodes=300,500,1000 sweep:protocol=prop-g,ltm
-//                 [--jobs N] [--repeat K]
+//                 [--jobs N] [--repeat K] [--format csv|json]
 //
 // Builds the Cartesian product of every sweep axis (times K seed
 // repeats), runs each combination as an independent deterministic
 // simulation on a worker pool, and prints one aggregated row per
 // combination. Simulations never share state, so the output is
-// identical to a serial run.
+// identical to a serial run. Every combination's config is validated
+// up-front: one bad axis value aborts with the full per-key error list
+// before any simulation runs. `--format json` replaces the ASCII/CSV
+// tables with a `propsim.sweep` JSON document.
 #include <cstdio>
 #include <cstring>
 #include <mutex>
@@ -17,6 +20,7 @@
 
 #include "app/experiment.h"
 #include "app/sweep.h"
+#include "common/json.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "common/thread_pool.h"
@@ -32,13 +36,14 @@ int main(int argc, char** argv) {
   std::vector<SweepAxis> axes;
   std::size_t jobs = 0;
   std::size_t repeat = 1;
+  bool json_output = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: %s [base.conf] [key=value ...] sweep:key=v1,v2,... "
-          "[--jobs N] [--repeat K]\n",
+          "[--jobs N] [--repeat K] [--format csv|json]\n",
           argv[0]);
       return 0;
     }
@@ -49,6 +54,19 @@ int main(int argc, char** argv) {
     if (arg == "--repeat" && i + 1 < argc) {
       repeat =
           static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+      continue;
+    }
+    if (arg == "--format" && i + 1 < argc) {
+      const std::string format = argv[++i];
+      if (format == "json") {
+        json_output = true;
+      } else if (format == "csv") {
+        json_output = false;
+      } else {
+        std::fprintf(stderr, "unknown --format '%s' (csv | json)\n",
+                     format.c_str());
+        return 2;
+      }
       continue;
     }
     if (arg.rfind("sweep:", 0) == 0) {
@@ -67,6 +85,18 @@ int main(int argc, char** argv) {
 
   const std::vector<SweepCombo> combos = expand_sweep(base, axes);
 
+  // Validate every combination before burning any simulation time.
+  bool valid = true;
+  for (const SweepCombo& combo : combos) {
+    const SpecResult parsed = ExperimentSpec::from_config(combo.config);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "combination %s:\n%s", combo.label.c_str(),
+                   parsed.error_report().c_str());
+      valid = false;
+    }
+  }
+  if (!valid) return 2;
+
   struct Cell {
     RunningStats initial;
     RunningStats final;
@@ -78,8 +108,10 @@ int main(int argc, char** argv) {
   std::mutex cells_mutex;
 
   ThreadPool pool(jobs);
-  std::printf("sweep: %zu combinations x %zu repeats on %zu workers\n",
-              combos.size(), repeat, pool.worker_count());
+  if (!json_output) {
+    std::printf("sweep: %zu combinations x %zu repeats on %zu workers\n",
+                combos.size(), repeat, pool.worker_count());
+  }
 
   pool.parallel_for(combos.size() * repeat, [&](std::size_t task) {
     const std::size_t ci = task / repeat;
@@ -88,8 +120,9 @@ int main(int argc, char** argv) {
     const auto base_seed =
         static_cast<std::uint64_t>(config.get_int("seed", 20070901));
     config.set("seed", std::to_string(base_seed + rep * 1000003ULL));
-    const ExperimentSpec spec = ExperimentSpec::from_config(config);
-    const ExperimentResult result = run_experiment(spec);
+    const SpecResult parsed = ExperimentSpec::from_config(config);
+    PROPSIM_CHECK(parsed.ok());  // validated above; reseeding keeps it so
+    const ExperimentResult result = run_experiment(parsed.spec());
     std::lock_guard<std::mutex> lock(cells_mutex);
     Cell& cell = cells[ci];
     cell.initial.add(result.initial_value);
@@ -99,9 +132,34 @@ int main(int argc, char** argv) {
     cell.metric = result.metric_name;
   });
 
+  bool all_connected = true;
+  if (json_output) {
+    Json out = Json::object();
+    out.set("schema", "propsim.sweep");
+    out.set("version", 1);
+    out.set("repeats", static_cast<std::uint64_t>(repeat));
+    Json rows = Json::array();
+    for (std::size_t ci = 0; ci < combos.size(); ++ci) {
+      const Cell& cell = cells[ci];
+      Json row = Json::object();
+      row.set("combination", combos[ci].label)
+          .set("metric", cell.metric)
+          .set("initial_mean", cell.initial.mean())
+          .set("final_mean", cell.final.mean())
+          .set("final_sd", cell.final.stddev())
+          .set("improvement", cell.initial.mean() / cell.final.mean())
+          .set("exchanges_mean", cell.exchanges.mean())
+          .set("connected", cell.connected);
+      rows.push_back(std::move(row));
+      all_connected = all_connected && cell.connected;
+    }
+    out.set("combinations", std::move(rows));
+    std::printf("%s\n", out.dump(2).c_str());
+    return all_connected ? 0 : 1;
+  }
+
   Table table({"combination", "metric", "initial(mean)", "final(mean)",
                "final(sd)", "improvement", "exchanges", "connected"});
-  bool all_connected = true;
   for (std::size_t ci = 0; ci < combos.size(); ++ci) {
     const Cell& cell = cells[ci];
     table.add_row({combos[ci].label, cell.metric,
