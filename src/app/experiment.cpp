@@ -35,7 +35,8 @@ constexpr const char* kKnownKeys[] = {
     "fast_fraction",   "fast_delay_ms",     "slow_delay_ms",
     "fraction_fast_dest", "churn_join_rate", "churn_leave_rate",
     "churn_fail_rate", "churn_start",       "churn_end",
-    "oracle",          "oracle_cache_rows",
+    "oracle",          "oracle_cache_rows", "trace",
+    "trace_buffer",
 };
 
 std::size_t edit_distance(const std::string& a, const std::string& b) {
@@ -335,6 +336,19 @@ SpecResult ExperimentSpec::from_config(const Config& config) {
             "use topology = ts-large | ts-small, or oracle = dijkstra");
   }
 
+  spec.trace_path = config.get_string("trace", "");
+  if (!spec.trace_path.empty() && !obs::trace_compiled_in()) {
+    p.error("trace", "trace output requires a PROPSIM_TRACE=ON build",
+            "rebuild with -DPROPSIM_TRACE=ON (the default preset has it)");
+  }
+  const std::int64_t trace_buffer = p.get_int("trace_buffer", 8192);
+  if (trace_buffer < 1) p.error("trace_buffer", "must be at least 1");
+  spec.trace_buffer_events =
+      static_cast<std::size_t>(std::max<std::int64_t>(trace_buffer, 1));
+  if (config.has("trace_buffer") && spec.trace_path.empty()) {
+    p.error("trace_buffer", "only meaningful together with trace = <path>");
+  }
+
   const bool has_churn = spec.churn.join_rate_per_s > 0.0 ||
                          spec.churn.leave_rate_per_s > 0.0 ||
                          spec.churn.fail_rate_per_s > 0.0;
@@ -363,6 +377,8 @@ SpecResult ExperimentSpec::from_config(const Config& config) {
 
 std::vector<std::pair<std::string, std::uint64_t>>
 ExperimentResult::counters() const {
+  using obs::TraceEventKind;
+  using obs::TracePhase;
   return {
       {"exchanges", exchanges},
       {"attempts", attempts},
@@ -374,6 +390,17 @@ ExperimentResult::counters() const {
       {"commit_conflicts", commit_conflicts},
       {"lookups_issued", lookups_issued},
       {"lookups_unreachable", lookups_unreachable},
+      // v2: event-bus counters (all zero in a PROPSIM_TRACE=OFF build).
+      {"walk_hops", trace.count(TraceEventKind::kWalkHop)},
+      {"flood_hops", trace.count(TraceEventKind::kFloodHop)},
+      {"lookup_hops", trace.count(TraceEventKind::kLookupHop)},
+      {"exchange_aborts", trace.count(TraceEventKind::kExchangeAbort)},
+      {"warmup_exchanges",
+       trace.count(TracePhase::kWarmup, TraceEventKind::kExchangeCommit)},
+      {"maintenance_exchanges",
+       trace.count(TracePhase::kMaintenance,
+                   TraceEventKind::kExchangeCommit)},
+      {"trace_events", trace.events},
   };
 }
 
@@ -421,6 +448,29 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   }
   LatencyOracle& oracle = *oracle_owner;
 
+  // --- Simulated clock + observability bus. Both exist before the
+  // substrate so build-time join events are stamped (at t = 0) and every
+  // engine reaches the bus through the overlay. The bus is created
+  // unconditionally: its counters never touch the RNG or the event
+  // queue, so results are identical with and without a trace sink. ---
+  Simulator sim;
+  obs::EventBus bus;
+  bus.set_clock([&sim] { return sim.now(); });
+  if (spec.protocol == ExperimentSpec::Protocol::kPropG ||
+      spec.protocol == ExperimentSpec::Protocol::kPropO) {
+    // Global warm-up approximation: each node probes at the base rate
+    // for its first MAX_INIT_TRIAL trials, one trial per INIT_TIMER.
+    bus.set_phase_boundary(spec.prop.init_timer_s *
+                           static_cast<double>(spec.prop.max_init_trial));
+  }
+  std::unique_ptr<obs::TraceSink> sink;
+  if (!spec.trace_path.empty()) {
+    sink = std::make_unique<obs::TraceSink>(spec.trace_path,
+                                            spec.trace_buffer_events);
+    PROPSIM_CHECK(sink->ok() && "cannot open trace output file");
+    bus.attach_sink(sink.get());
+  }
+
   // --- Overlay hosts (plus spares for churn joins). ---
   rng.shuffle(stub_pool);
   std::vector<NodeId> hosts(stub_pool.begin(),
@@ -441,30 +491,30 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   switch (spec.overlay) {
     case ExperimentSpec::Overlay::kGnutella:
       net = std::make_unique<OverlayNetwork>(
-          build_gnutella_overlay(gcfg, hosts, oracle, rng));
+          build_gnutella_overlay(gcfg, hosts, oracle, rng, &bus));
       break;
     case ExperimentSpec::Overlay::kChord:
       chord = std::make_unique<ChordRing>(
           ChordRing::build_random(spec.nodes, ChordConfig{}, rng));
       net = std::make_unique<OverlayNetwork>(
-          make_chord_overlay(*chord, hosts, oracle));
+          make_chord_overlay(*chord, hosts, oracle, &bus));
       break;
     case ExperimentSpec::Overlay::kPastry:
       pastry = std::make_unique<PastryNetwork>(
           PastryNetwork::build_random(spec.nodes, PastryConfig{}, rng));
       net = std::make_unique<OverlayNetwork>(
-          make_pastry_overlay(*pastry, hosts, oracle));
+          make_pastry_overlay(*pastry, hosts, oracle, &bus));
       break;
     case ExperimentSpec::Overlay::kTapestry:
       tapestry = std::make_unique<TapestryNetwork>(
           TapestryNetwork::build_random(spec.nodes, TapestryConfig{}, rng));
       net = std::make_unique<OverlayNetwork>(
-          make_tapestry_overlay(*tapestry, hosts, oracle));
+          make_tapestry_overlay(*tapestry, hosts, oracle, &bus));
       break;
     case ExperimentSpec::Overlay::kCan:
       can = std::make_unique<CanSpace>(CanSpace::build(spec.nodes, rng));
       net = std::make_unique<OverlayNetwork>(
-          make_can_overlay(*can, hosts, oracle));
+          make_can_overlay(*can, hosts, oracle, &bus));
       break;
   }
 
@@ -552,7 +602,6 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   };
 
   // --- Protocol engines on the simulated clock. ---
-  Simulator sim;
   std::unique_ptr<PropEngine> prop;
   std::unique_ptr<LtmEngine> ltm;
   switch (spec.protocol) {
@@ -590,26 +639,30 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
         proc = delays->slot_delays(*net);
         proc_ptr = &proc;
       }
+      // Event-driven lookups are the only routed queries traced per hop;
+      // the 10k-query metric snapshots stay untraced so sampling does
+      // not dominate the event stream.
+      auto routed = [&](const std::vector<SlotId>& path) -> double {
+        if (obs::EventBus* tb = net->trace()) {
+          for (std::size_t i = 1; i < path.size(); ++i) {
+            tb->emit(obs::TraceEventKind::kLookupHop, path[i - 1], path[i],
+                     net->slot_latency(path[i - 1], path[i]));
+          }
+        }
+        return path_latency(*net, path, proc_ptr);
+      };
       switch (spec.overlay) {
         case ExperimentSpec::Overlay::kGnutella:
           return net->flood_latencies(q.src, proc_ptr)[q.dst];
         case ExperimentSpec::Overlay::kChord:
-          return path_latency(
-              *net, chord->lookup_path(q.src, chord->id_of(q.dst)),
-              proc_ptr);
+          return routed(chord->lookup_path(q.src, chord->id_of(q.dst)));
         case ExperimentSpec::Overlay::kPastry:
-          return path_latency(
-              *net, pastry->lookup_path(q.src, pastry->id_of(q.dst)),
-              proc_ptr);
+          return routed(pastry->lookup_path(q.src, pastry->id_of(q.dst)));
         case ExperimentSpec::Overlay::kTapestry:
-          return path_latency(
-              *net,
-              tapestry->lookup_path(q.src, tapestry->id_of(q.dst)),
-              proc_ptr);
+          return routed(
+              tapestry->lookup_path(q.src, tapestry->id_of(q.dst)));
         case ExperimentSpec::Overlay::kCan:
-          return path_latency(
-              *net, can->route_path(q.src, can->zone(q.dst).center()),
-              proc_ptr);
+          return routed(can->route_path(q.src, can->zone(q.dst).center()));
       }
       PROPSIM_CHECK(false && "unreachable");
       return 0.0;
@@ -652,6 +705,8 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   }
   result.connected = net->graph().active_subgraph_connected();
   result.final_population = net->size();
+  result.trace = bus.summary();
+  if (sink) sink->close();
   return result;
 }
 

@@ -26,6 +26,9 @@
 //   churn_start, churn_end = <seconds>
 //   oracle     = auto | hierarchical | dijkstra       (default auto)
 //   oracle_cache_rows = <int>                         (default 1024)
+//   trace      = <path>   (stream propsim.trace v1 JSONL; requires a
+//                          PROPSIM_TRACE=ON build)
+//   trace_buffer = <int>  (sink ring-buffer capacity, default 8192)
 //
 // from_config returns a SpecResult: structured per-key errors (including
 // unknown keys, with did-you-mean suggestions) instead of aborting the
@@ -41,6 +44,7 @@
 #include "common/config.h"
 #include "common/timeseries.h"
 #include "core/params.h"
+#include "obs/event_bus.h"
 #include "workload/churn.h"
 #include "workload/heterogeneity.h"
 
@@ -84,6 +88,13 @@ struct ExperimentSpec {
   /// LRU bound on resident Dijkstra rows (0 = unbounded).
   std::size_t oracle_cache_rows = 1024;
 
+  /// When non-empty, the run streams every trace event to this path as
+  /// `propsim.trace` v1 JSONL (requires a PROPSIM_TRACE=ON build; the
+  /// in-memory counters in ExperimentResult::trace work regardless).
+  std::string trace_path;
+  /// Sink ring-buffer capacity in events (flushed in batches on wrap).
+  std::size_t trace_buffer_events = 8192;
+
   /// Parses and validates. Never aborts on bad input: every problem —
   /// unknown key, malformed value, out-of-range value, invalid
   /// combination (e.g. LTM or churn on a structured overlay) — is
@@ -124,7 +135,10 @@ struct SpecResult {
 struct ExperimentResult {
   /// Counter-name registry version for counters(): bumped whenever an
   /// existing name changes meaning or disappears; pure additions keep it.
-  static constexpr int kCountersVersion = 1;
+  /// v2: added the event-bus counters (walk_hops, flood_hops,
+  /// lookup_hops, exchange_aborts, warmup_exchanges,
+  /// maintenance_exchanges, trace_events); all v1 names are unchanged.
+  static constexpr int kCountersVersion = 2;
 
   /// "lookup_ms" for unstructured overlays, "stretch" for DHTs.
   std::string metric_name;
@@ -142,6 +156,10 @@ struct ExperimentResult {
   std::uint64_t commit_conflicts = 0;
   bool connected = false;
   std::size_t final_population = 0;
+
+  /// Per-phase event counters and wall-clock phase timers from the run's
+  /// event bus (zeros in a PROPSIM_TRACE=OFF build).
+  obs::TraceSummary trace;
 
   /// Event-driven traffic results (lookup_rate > 0 only): windowed mean
   /// of what lookups actually experienced, plus distribution points.

@@ -44,6 +44,38 @@ Json experiment_result_json(const ExperimentSpec& spec,
   out.set("counters", std::move(counters));
   out.set("counters_version", ExperimentResult::kCountersVersion);
 
+  // Observability summary (additive; schema stays v1). Per-phase kind
+  // counts only list non-zero kinds to keep small results small.
+  Json trace = Json::object();
+  trace.set("enabled", result.trace.compiled_in)
+      .set("phase_boundary_s", result.trace.phase_boundary_s)
+      .set("events", result.trace.events);
+  Json phases = Json::object();
+  for (std::size_t p = 0; p < obs::kTracePhaseCount; ++p) {
+    const auto phase = static_cast<obs::TracePhase>(p);
+    Json phase_json = Json::object();
+    phase_json.set("events", result.trace.events_by_phase[p])
+        .set("wall_ms", phase == obs::TracePhase::kWarmup
+                            ? result.trace.warmup_wall_ms
+                            : result.trace.maintenance_wall_ms);
+    Json by_kind = Json::object();
+    for (std::size_t k = 0; k < obs::kTraceEventKindCount; ++k) {
+      const auto kind = static_cast<obs::TraceEventKind>(k);
+      if (result.trace.count(phase, kind) == 0) continue;
+      by_kind.set(obs::to_string(kind), result.trace.count(phase, kind));
+    }
+    phase_json.set("by_kind", std::move(by_kind));
+    phases.set(obs::to_string(phase), std::move(phase_json));
+  }
+  trace.set("by_phase", std::move(phases));
+  if (!result.trace.sink_path.empty()) {
+    Json sink = Json::object();
+    sink.set("path", result.trace.sink_path)
+        .set("events", result.trace.sink_events);
+    trace.set("sink", std::move(sink));
+  }
+  out.set("trace", std::move(trace));
+
   if (result.lookups_issued > 0) {
     Json traffic = Json::object();
     traffic.set("issued", result.lookups_issued)

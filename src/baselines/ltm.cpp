@@ -88,6 +88,10 @@ std::size_t ltm_round(OverlayNetwork& net, SlotId u, const LtmParams& params) {
                         MessageKind::kExchangeCtrl);
     ++changed;
   }
+  if (obs::EventBus* bus = net.trace()) {
+    bus->emit(obs::TraceEventKind::kLtmRound, u, 0,
+              static_cast<double>(g.degree(u)), changed);
+  }
   return changed;
 }
 

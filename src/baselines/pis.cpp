@@ -9,7 +9,14 @@ namespace propsim {
 
 std::vector<std::uint32_t> landmark_ordering(NodeId host,
                                              std::span<const NodeId> landmarks,
-                                             const LatencyOracle& oracle) {
+                                             const LatencyOracle& oracle,
+                                             obs::EventBus* trace) {
+  if (trace != nullptr) {
+    for (std::size_t i = 0; i < landmarks.size(); ++i) {
+      trace->emit(obs::TraceEventKind::kLandmarkProbe, host, landmarks[i],
+                  oracle.latency(host, landmarks[i]));
+    }
+  }
   std::vector<std::uint32_t> order(landmarks.size());
   std::iota(order.begin(), order.end(), 0u);
   std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
@@ -23,7 +30,8 @@ std::vector<std::uint32_t> landmark_ordering(NodeId host,
 
 std::vector<ChordId> pis_identifiers(std::span<const NodeId> hosts,
                                      std::span<const NodeId> landmarks,
-                                     const LatencyOracle& oracle, Rng& rng) {
+                                     const LatencyOracle& oracle, Rng& rng,
+                                     obs::EventBus* trace) {
   PROPSIM_CHECK(!hosts.empty());
   PROPSIM_CHECK(!landmarks.empty());
   const std::size_t n = hosts.size();
@@ -36,8 +44,8 @@ std::vector<ChordId> pis_identifiers(std::span<const NodeId> hosts,
   std::vector<Keyed> keyed;
   keyed.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    keyed.push_back(
-        Keyed{landmark_ordering(hosts[i], landmarks, oracle), rng.next(), i});
+    keyed.push_back(Keyed{landmark_ordering(hosts[i], landmarks, oracle, trace),
+                          rng.next(), i});
   }
   std::sort(keyed.begin(), keyed.end(), [](const Keyed& a, const Keyed& b) {
     if (a.ordering != b.ordering) return a.ordering < b.ordering;

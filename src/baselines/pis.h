@@ -11,15 +11,18 @@
 
 #include "chord/id_space.h"
 #include "common/rng.h"
+#include "obs/event_bus.h"
 #include "topology/latency_oracle.h"
 
 namespace propsim {
 
 /// Landmark-ordering bin of one host: the permutation of landmark
-/// indices sorted by latency (nearest first).
+/// indices sorted by latency (nearest first). A non-null `trace` gets
+/// one kLandmarkProbe per host-landmark measurement.
 std::vector<std::uint32_t> landmark_ordering(NodeId host,
                                              std::span<const NodeId> landmarks,
-                                             const LatencyOracle& oracle);
+                                             const LatencyOracle& oracle,
+                                             obs::EventBus* trace = nullptr);
 
 /// Assigns Chord identifiers to `hosts`: hosts are sorted by landmark
 /// ordering (ties broken by a seeded shuffle so equal bins spread out),
@@ -27,6 +30,7 @@ std::vector<std::uint32_t> landmark_ordering(NodeId host,
 /// same bin become ring-adjacent.
 std::vector<ChordId> pis_identifiers(std::span<const NodeId> hosts,
                                      std::span<const NodeId> landmarks,
-                                     const LatencyOracle& oracle, Rng& rng);
+                                     const LatencyOracle& oracle, Rng& rng,
+                                     obs::EventBus* trace = nullptr);
 
 }  // namespace propsim

@@ -219,14 +219,22 @@ bool CanSpace::validate() const {
 
 OverlayNetwork make_can_overlay(const CanSpace& space,
                                 std::span<const NodeId> hosts,
-                                const LatencyOracle& oracle) {
+                                const LatencyOracle& oracle,
+                                obs::EventBus* trace) {
   PROPSIM_CHECK(hosts.size() == space.size());
   LogicalGraph graph = space.to_logical_graph();
   Placement placement(graph.slot_count(), oracle.physical().node_count());
   for (SlotId s = 0; s < graph.slot_count(); ++s) {
     placement.bind(s, hosts[s]);
   }
-  return OverlayNetwork(std::move(graph), std::move(placement), oracle);
+  OverlayNetwork net(std::move(graph), std::move(placement), oracle);
+  net.set_trace(trace);
+  if (trace != nullptr) {
+    for (const SlotId s : net.graph().active_slots()) {
+      trace->emit(obs::TraceEventKind::kJoin, s, net.placement().host_of(s));
+    }
+  }
+  return net;
 }
 
 }  // namespace propsim

@@ -86,6 +86,7 @@ class CanSpace {
 /// OverlayNetwork over a CAN: slot i bound to hosts[i].
 OverlayNetwork make_can_overlay(const CanSpace& space,
                                 std::span<const NodeId> hosts,
-                                const LatencyOracle& oracle);
+                                const LatencyOracle& oracle,
+                                obs::EventBus* trace = nullptr);
 
 }  // namespace propsim

@@ -187,14 +187,22 @@ void ChordRing::apply_pns(std::span<const NodeId> hosts,
 
 OverlayNetwork make_chord_overlay(const ChordRing& ring,
                                   std::span<const NodeId> hosts,
-                                  const LatencyOracle& oracle) {
+                                  const LatencyOracle& oracle,
+                                  obs::EventBus* trace) {
   PROPSIM_CHECK(hosts.size() == ring.size());
   LogicalGraph graph = ring.to_logical_graph();
   Placement placement(graph.slot_count(), oracle.physical().node_count());
   for (SlotId s = 0; s < graph.slot_count(); ++s) {
     placement.bind(s, hosts[s]);
   }
-  return OverlayNetwork(std::move(graph), std::move(placement), oracle);
+  OverlayNetwork net(std::move(graph), std::move(placement), oracle);
+  net.set_trace(trace);
+  if (trace != nullptr) {
+    for (const SlotId s : net.graph().active_slots()) {
+      trace->emit(obs::TraceEventKind::kJoin, s, net.placement().host_of(s));
+    }
+  }
+  return net;
 }
 
 }  // namespace propsim

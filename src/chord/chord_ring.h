@@ -90,6 +90,7 @@ class ChordRing {
 /// (Route latency helpers live in overlay/overlay_network.h.)
 OverlayNetwork make_chord_overlay(const ChordRing& ring,
                                   std::span<const NodeId> hosts,
-                                  const LatencyOracle& oracle);
+                                  const LatencyOracle& oracle,
+                                  obs::EventBus* trace = nullptr);
 
 }  // namespace propsim

@@ -1,7 +1,9 @@
 #include "common/json.h"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/check.h"
 
@@ -19,12 +21,60 @@ Json Json::object() {
   return j;
 }
 
+bool Json::is_null() const {
+  return std::holds_alternative<std::nullptr_t>(value_);
+}
+
+bool Json::is_bool() const {
+  return std::holds_alternative<bool>(value_);
+}
+
+bool Json::is_number() const {
+  return std::holds_alternative<double>(value_);
+}
+
+bool Json::is_string() const {
+  return std::holds_alternative<std::string>(value_);
+}
+
 bool Json::is_array() const {
   return std::holds_alternative<Array>(value_);
 }
 
 bool Json::is_object() const {
   return std::holds_alternative<Object>(value_);
+}
+
+bool Json::as_bool() const {
+  PROPSIM_CHECK(is_bool());
+  return std::get<bool>(value_);
+}
+
+double Json::as_double() const {
+  PROPSIM_CHECK(is_number());
+  return std::get<double>(value_);
+}
+
+const std::string& Json::as_string() const {
+  PROPSIM_CHECK(is_string());
+  return std::get<std::string>(value_);
+}
+
+const Json::Array& Json::array_items() const {
+  PROPSIM_CHECK(is_array());
+  return std::get<Array>(value_);
+}
+
+const Json::Object& Json::object_items() const {
+  PROPSIM_CHECK(is_object());
+  return std::get<Object>(value_);
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  const Object& o = std::get<Object>(value_);
+  const auto it = o.find(key);
+  return it == o.end() ? nullptr : &it->second;
 }
 
 Json& Json::push_back(Json v) {
@@ -149,6 +199,289 @@ std::string Json::dump(int indent) const {
   std::string out;
   dump_to(out, indent, 0);
   return out;
+}
+
+// --------------------------------------------------------------- parsing
+
+namespace {
+
+/// Recursive-descent RFC 8259 parser over a borrowed buffer. Fails soft:
+/// every error sets `message` + the byte offset and propagates as
+/// nullopt, so callers can report malformed input instead of aborting.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  std::optional<Json> run(std::string* error) {
+    std::optional<Json> v = parse_value(0);
+    skip_whitespace();
+    if (v.has_value() && pos_ != text_.size()) {
+      fail("trailing characters after document");
+      v.reset();
+    }
+    if (!v.has_value() && error != nullptr) {
+      *error = message_ + " at byte " + std::to_string(error_pos_);
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 256;
+
+  void fail(const std::string& message) {
+    if (message_.empty()) {
+      message_ = message;
+      error_pos_ = pos_;
+    }
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_literal(const char* literal) {
+    const std::size_t n = std::char_traits<char>::length(literal);
+    if (text_.compare(pos_, n, literal) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  std::optional<Json> parse_value(int depth) {
+    if (depth > kMaxDepth) {
+      fail("nesting too deep");
+      return std::nullopt;
+    }
+    skip_whitespace();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return std::nullopt;
+    }
+    switch (text_[pos_]) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': {
+        std::optional<std::string> s = parse_string();
+        if (!s.has_value()) return std::nullopt;
+        return Json(std::move(*s));
+      }
+      case 't':
+        if (consume_literal("true")) return Json(true);
+        break;
+      case 'f':
+        if (consume_literal("false")) return Json(false);
+        break;
+      case 'n':
+        if (consume_literal("null")) return Json(nullptr);
+        break;
+      default:
+        return parse_number();
+    }
+    fail("invalid value");
+    return std::nullopt;
+  }
+
+  std::optional<Json> parse_object(int depth) {
+    consume('{');
+    Json out = Json::object();
+    skip_whitespace();
+    if (consume('}')) return out;
+    while (true) {
+      skip_whitespace();
+      std::optional<std::string> key = parse_string();
+      if (!key.has_value()) return std::nullopt;
+      skip_whitespace();
+      if (!consume(':')) {
+        fail("expected ':' after object key");
+        return std::nullopt;
+      }
+      std::optional<Json> value = parse_value(depth + 1);
+      if (!value.has_value()) return std::nullopt;
+      out.set(*key, std::move(*value));
+      skip_whitespace();
+      if (consume(',')) continue;
+      if (consume('}')) return out;
+      fail("expected ',' or '}' in object");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<Json> parse_array(int depth) {
+    consume('[');
+    Json out = Json::array();
+    skip_whitespace();
+    if (consume(']')) return out;
+    while (true) {
+      std::optional<Json> value = parse_value(depth + 1);
+      if (!value.has_value()) return std::nullopt;
+      out.push_back(std::move(*value));
+      skip_whitespace();
+      if (consume(',')) continue;
+      if (consume(']')) return out;
+      fail("expected ',' or ']' in array");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<Json> parse_number() {
+    const std::size_t start = pos_;
+    if (consume('-')) { /* sign */ }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      fail("invalid number");
+      return std::nullopt;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    // RFC 8259: no leading zeros ("01"), which strtod would accept.
+    const std::size_t first_digit = token[0] == '-' ? 1 : 0;
+    if (token.size() > first_digit + 1 && token[first_digit] == '0' &&
+        std::isdigit(static_cast<unsigned char>(token[first_digit + 1])) != 0) {
+      pos_ = start;
+      fail("invalid number");
+      return std::nullopt;
+    }
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      pos_ = start;
+      fail("invalid number");
+      return std::nullopt;
+    }
+    return Json(d);
+  }
+
+  /// One \uXXXX unit (pos_ past the 'u'); 0xFFFFFFFF on bad hex.
+  std::uint32_t parse_hex4() {
+    if (pos_ + 4 > text_.size()) return 0xFFFFFFFFu;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<std::size_t>(i)];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        return 0xFFFFFFFFu;
+      }
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  static void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!consume('"')) {
+      fail("expected string");
+      return std::nullopt;
+    }
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) {
+        fail("unterminated string");
+        return std::nullopt;
+      }
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+        return std::nullopt;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        fail("unterminated escape");
+        return std::nullopt;
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          std::uint32_t cp = parse_hex4();
+          if (cp == 0xFFFFFFFFu) {
+            fail("invalid \\u escape");
+            return std::nullopt;
+          }
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: a \uXXXX low surrogate must follow.
+            if (!consume_literal("\\u")) {
+              fail("unpaired high surrogate");
+              return std::nullopt;
+            }
+            const std::uint32_t low = parse_hex4();
+            if (low < 0xDC00 || low > 0xDFFF) {
+              fail("invalid low surrogate");
+              return std::nullopt;
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("unpaired low surrogate");
+            return std::nullopt;
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          fail("invalid escape character");
+          return std::nullopt;
+      }
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string message_;
+  std::size_t error_pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<Json> Json::parse(const std::string& text, std::string* error) {
+  return Parser(text).run(error);
 }
 
 }  // namespace propsim

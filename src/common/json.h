@@ -1,13 +1,17 @@
-// Minimal JSON value builder for structured tool output.
+// Minimal JSON value builder and parser for structured tool output.
 //
-// Build values imperatively and dump() them; no parsing, no external
-// dependencies. Numbers render with up-to-17-significant-digit
-// round-trip precision; strings are escaped per RFC 8259.
+// Build values imperatively and dump() them, or parse() an RFC 8259
+// document back into a value tree; no external dependencies. Numbers
+// render with up-to-17-significant-digit round-trip precision; strings
+// are escaped per RFC 8259. The parser accepts exactly the grammar the
+// builder emits (all of standard JSON; \uXXXX escapes are decoded to
+// UTF-8, surrogate pairs included).
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <variant>
 #include <vector>
@@ -16,6 +20,9 @@ namespace propsim {
 
 class Json {
  public:
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
   Json() : value_(nullptr) {}
   Json(std::nullptr_t) : value_(nullptr) {}  // NOLINT(runtime/explicit)
   Json(bool b) : value_(b) {}                // NOLINT(runtime/explicit)
@@ -29,8 +36,29 @@ class Json {
   static Json array();
   static Json object();
 
+  /// Parses one JSON document (trailing whitespace allowed, trailing
+  /// garbage rejected). Returns nullopt on malformed input and, when
+  /// `error` is non-null, a one-line description with byte offset.
+  static std::optional<Json> parse(const std::string& text,
+                                   std::string* error = nullptr);
+
+  bool is_null() const;
+  bool is_bool() const;
+  bool is_number() const;
+  bool is_string() const;
   bool is_array() const;
   bool is_object() const;
+
+  /// Typed reads; each check-fails unless the value holds that type.
+  bool as_bool() const;
+  double as_double() const;
+  const std::string& as_string() const;
+  const Array& array_items() const;
+  const Object& object_items() const;
+
+  /// Object member lookup: nullptr when this is not an object or the key
+  /// is absent.
+  const Json* find(const std::string& key) const;
 
   /// Appends to an array (the value must be an array).
   Json& push_back(Json v);
@@ -45,8 +73,6 @@ class Json {
   static std::string escape(const std::string& s);
 
  private:
-  using Array = std::vector<Json>;
-  using Object = std::map<std::string, Json>;
   std::variant<std::nullptr_t, bool, double, std::string, Array, Object>
       value_;
 

@@ -83,6 +83,8 @@ bool PropEngine::attempt(SlotId u) {
   PROPSIM_CHECK(net_.graph().is_active(u));
   ++stats_.attempts;
   ++st.trials;
+  obs::EventBus* bus = net_.trace();
+  if (bus != nullptr) bus->emit(obs::TraceEventKind::kProbe, u);
 
   const auto neighbors = net_.graph().neighbors(u);
   if (neighbors.empty()) {
@@ -124,11 +126,21 @@ bool PropEngine::attempt(SlotId u) {
                          params_.nhops);
     if (!walk.has_value()) {
       ++stats_.walk_failures;
+      if (bus != nullptr) {
+        bus->emit(obs::TraceEventKind::kExchangeAbort, u, first_hop, 0.0,
+                  static_cast<std::uint64_t>(obs::AbortReason::kWalkFailure));
+      }
       handle_failure(u, first_hop);
       return false;
     }
     path = std::move(*walk);
     v = path.back();
+    if (bus != nullptr) {
+      for (std::size_t i = 1; i < path.size(); ++i) {
+        bus->emit(obs::TraceEventKind::kWalkHop, path[i - 1], path[i],
+                  net_.slot_latency(path[i - 1], path[i]));
+      }
+    }
   }
 
   // Plan the exchange and evaluate Var.
@@ -140,14 +152,25 @@ bool PropEngine::attempt(SlotId u) {
                        rng_);
   }
   if (!plan.has_value()) {
+    if (bus != nullptr) {
+      bus->emit(obs::TraceEventKind::kExchangeAbort, u, v, 0.0,
+                static_cast<std::uint64_t>(obs::AbortReason::kNoPlan));
+    }
     handle_failure(u, first_hop);
     return false;
   }
   ++stats_.planned;
+  if (bus != nullptr) {
+    bus->emit(obs::TraceEventKind::kExchangeAttempt, u, v, plan->var);
+  }
   charge_messages(*plan, path.size() - 1, /*committed=*/false);
 
   if (plan->var <= params_.min_var) {
     ++stats_.rejected;
+    if (bus != nullptr) {
+      bus->emit(obs::TraceEventKind::kExchangeAbort, u, v, plan->var,
+                static_cast<std::uint64_t>(obs::AbortReason::kBelowMinVar));
+    }
     handle_failure(u, first_hop);
     return false;
   }
@@ -180,6 +203,10 @@ bool PropEngine::attempt(SlotId u) {
   ++stats_.exchanges;
   stats_.total_var_gain += plan->var;
   stats_.last_exchange_time = sim_.now();
+  if (bus != nullptr) {
+    bus->emit(obs::TraceEventKind::kExchangeCommit, plan->u, plan->v,
+              plan->var, plan->from_u.size());
+  }
   notify_observer(*plan);
   handle_success(u, first_hop);
   return true;
@@ -220,6 +247,10 @@ void PropEngine::commit_after_delay(SlotId u, SlotId first_hop, SlotId v,
   if (!st.active) return;
   auto conflict = [&] {
     ++stats_.commit_conflicts;
+    if (obs::EventBus* bus = net_.trace()) {
+      bus->emit(obs::TraceEventKind::kExchangeAbort, u, v, 0.0,
+                static_cast<std::uint64_t>(obs::AbortReason::kCommitConflict));
+    }
     handle_failure(u, first_hop);
     schedule_probe(u, st.timer);
   };
@@ -264,6 +295,10 @@ void PropEngine::commit_after_delay(SlotId u, SlotId first_hop, SlotId v,
   ++stats_.exchanges;
   stats_.total_var_gain += plan->var;
   stats_.last_exchange_time = sim_.now();
+  if (obs::EventBus* bus = net_.trace()) {
+    bus->emit(obs::TraceEventKind::kExchangeCommit, plan->u, plan->v,
+              plan->var, plan->from_u.size());
+  }
   notify_observer(*plan);
   handle_success(u, first_hop);
   schedule_probe(u, st.timer);

@@ -15,6 +15,7 @@ FloodResult flood_search(OverlayNetwork& net, SlotId source,
   }
 
   constexpr double kInf = std::numeric_limits<double>::infinity();
+  obs::EventBus* bus = net.trace();
   FloodResult result;
 
   // Breadth-first wavefront by hop count; within the scope we track the
@@ -44,6 +45,9 @@ FloodResult flood_search(OverlayNetwork& net, SlotId source,
       for (const SlotId v : g.neighbors(u)) {
         ++result.messages;
         net.traffic().count(net.placement().host_of(u), MessageKind::kLookup);
+        if (bus != nullptr) {
+          bus->emit(obs::TraceEventKind::kFloodHop, u, v, 0.0, hop);
+        }
         double arrive = best[u] + net.slot_latency(u, v);
         if (processing_delay_ms != nullptr) {
           arrive += (*processing_delay_ms)[v];

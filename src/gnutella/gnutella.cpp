@@ -44,7 +44,8 @@ std::vector<SlotId> pick_attach_targets(const LogicalGraph& g,
 
 OverlayNetwork build_gnutella_overlay(const GnutellaConfig& config,
                                       std::span<const NodeId> hosts,
-                                      const LatencyOracle& oracle, Rng& rng) {
+                                      const LatencyOracle& oracle, Rng& rng,
+                                      obs::EventBus* trace) {
   PROPSIM_CHECK(config.attach_links >= 1);
   PROPSIM_CHECK(hosts.size() > config.attach_links);
 
@@ -82,7 +83,14 @@ OverlayNetwork build_gnutella_overlay(const GnutellaConfig& config,
 
   PROPSIM_CHECK(graph.active_subgraph_connected());
   PROPSIM_CHECK(graph.min_active_degree() == config.attach_links);
-  return OverlayNetwork(std::move(graph), std::move(placement), oracle);
+  OverlayNetwork net(std::move(graph), std::move(placement), oracle);
+  net.set_trace(trace);
+  if (trace != nullptr) {
+    for (const SlotId s : net.graph().active_slots()) {
+      trace->emit(obs::TraceEventKind::kJoin, s, net.placement().host_of(s));
+    }
+  }
+  return net;
 }
 
 SlotId gnutella_join(OverlayNetwork& net, const GnutellaConfig& config,
@@ -97,6 +105,9 @@ SlotId gnutella_join(OverlayNetwork& net, const GnutellaConfig& config,
       g, pool, joiner, config.attach_links, config.preferential_fraction, rng);
   PROPSIM_CHECK(!targets.empty());
   for (const SlotId t : targets) g.add_edge(joiner, t);
+  if (obs::EventBus* bus = net.trace()) {
+    bus->emit(obs::TraceEventKind::kJoin, joiner, host);
+  }
   return joiner;
 }
 

@@ -28,10 +28,12 @@ struct GnutellaConfig {
 };
 
 /// Builds the overlay over `hosts` (distinct physical node ids); slot i is
-/// bound to hosts[i]. Requires hosts.size() > attach_links.
+/// bound to hosts[i]. Requires hosts.size() > attach_links. When `trace`
+/// is non-null it becomes the overlay's event bus (one kJoin per slot).
 OverlayNetwork build_gnutella_overlay(const GnutellaConfig& config,
                                       std::span<const NodeId> hosts,
-                                      const LatencyOracle& oracle, Rng& rng);
+                                      const LatencyOracle& oracle, Rng& rng,
+                                      obs::EventBus* trace = nullptr);
 
 /// Attaches a fresh joiner (bound to `host`) to an existing overlay using
 /// the same link-selection rule; returns the new slot. Used by churn.

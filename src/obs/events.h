@@ -1,0 +1,67 @@
+// Typed simulation events for the observability layer.
+//
+// Every protocol action the paper's cost trajectories are built from —
+// probe trials, random-walk hops, exchange attempt/commit/abort, flood
+// and DHT lookup hops, membership churn, baseline optimizer rounds —
+// maps to one TraceEventKind. Events are fixed-size PODs so the bus can
+// count and buffer them with near-zero overhead; the JSONL sink gives
+// them names from this header (the `propsim.trace` v1 vocabulary).
+#pragma once
+
+#include <cstdint>
+
+namespace propsim::obs {
+
+enum class TraceEventKind : std::uint8_t {
+  kProbe,            // PROP probe trial started (a = initiator)
+  kWalkHop,          // one TTL random-walk hop (a -> b)
+  kExchangeAttempt,  // exchange plan evaluated (a, b; value = Var)
+  kExchangeCommit,   // exchange applied (a, b; value = Var,
+                     // detail = neighbors transferred, 0 for PROP-G)
+  kExchangeAbort,    // attempt abandoned (a = initiator;
+                     // detail = AbortReason)
+  kFloodHop,         // unstructured flood edge traversal (a -> b)
+  kLookupHop,        // structured (DHT) lookup hop (a -> b)
+  kLookup,           // application lookup completed (a = src, b = dst;
+                     // value = latency ms; detail = 1 if unreachable)
+  kJoin,             // membership: slot a became active (detail = links)
+  kLeave,            // membership: slot a departed gracefully
+  kFail,             // membership: slot a crashed (detail = repair links)
+  kLtmRound,         // one LTM detector round at a (detail = links changed)
+  kLandmarkProbe,    // PIS landmark latency measurement (a = host,
+                     // b = landmark; value = latency ms)
+  kCount
+};
+
+/// Why an exchange attempt died, carried in TraceEvent::detail.
+enum class AbortReason : std::uint64_t {
+  kWalkFailure = 1,     // random walk could not reach nhops depth
+  kNoPlan = 2,          // no applicable exchange between the endpoints
+  kBelowMinVar = 3,     // plan rejected by the MIN_VAR gate
+  kCommitConflict = 4,  // delayed commit invalidated by a concurrent change
+};
+
+/// The paper's protocol phases: warm-up (nodes still inside their first
+/// MAX_INIT_TRIAL probe trials, probing at the base rate) versus steady
+/// maintenance. The bus classifies events by simulated time against a
+/// per-run boundary (see EventBus::set_phase_boundary).
+enum class TracePhase : std::uint8_t { kWarmup, kMaintenance, kCount };
+
+struct TraceEvent {
+  double time = 0.0;  // simulated seconds (stamped by the bus clock)
+  TraceEventKind kind = TraceEventKind::kProbe;
+  std::uint32_t a = 0;  // primary actor (slot or host id)
+  std::uint32_t b = 0;  // counterpart, when the event has one
+  double value = 0.0;   // kind-specific payload (Var, latency ms, ...)
+  std::uint64_t detail = 0;  // kind-specific payload (counts, reasons)
+};
+
+inline constexpr std::size_t kTraceEventKindCount =
+    static_cast<std::size_t>(TraceEventKind::kCount);
+inline constexpr std::size_t kTracePhaseCount =
+    static_cast<std::size_t>(TracePhase::kCount);
+
+const char* to_string(TraceEventKind kind);
+const char* to_string(TracePhase phase);
+
+}  // namespace propsim::obs

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/event_bus.h"
 #include "overlay/logical_graph.h"
 #include "overlay/placement.h"
 #include "sim/traffic.h"
@@ -29,6 +30,12 @@ class OverlayNetwork {
   const LatencyOracle& oracle() const { return *oracle_; }
   TrafficCounter& traffic() { return traffic_; }
   const TrafficCounter& traffic() const { return traffic_; }
+
+  /// Observability hook shared by every engine that works over this
+  /// overlay (PROP, LTM, churn, lookup traffic, floods): emitted events
+  /// go to `bus` (not owned, may be null, must outlive the overlay).
+  void set_trace(obs::EventBus* bus) { trace_ = bus; }
+  obs::EventBus* trace() const { return trace_; }
 
   std::size_t size() const { return graph_.active_count(); }
 
@@ -74,6 +81,7 @@ class OverlayNetwork {
   Placement placement_;
   const LatencyOracle* oracle_;
   TrafficCounter traffic_;
+  obs::EventBus* trace_ = nullptr;
 };
 
 /// Total latency of a hop-by-hop route under the current placement (sum

@@ -205,14 +205,22 @@ void PastryNetwork::apply_proximity(std::span<const NodeId> hosts,
 
 OverlayNetwork make_pastry_overlay(const PastryNetwork& pastry,
                                    std::span<const NodeId> hosts,
-                                   const LatencyOracle& oracle) {
+                                   const LatencyOracle& oracle,
+                                   obs::EventBus* trace) {
   PROPSIM_CHECK(hosts.size() == pastry.size());
   LogicalGraph graph = pastry.to_logical_graph();
   Placement placement(graph.slot_count(), oracle.physical().node_count());
   for (SlotId s = 0; s < graph.slot_count(); ++s) {
     placement.bind(s, hosts[s]);
   }
-  return OverlayNetwork(std::move(graph), std::move(placement), oracle);
+  OverlayNetwork net(std::move(graph), std::move(placement), oracle);
+  net.set_trace(trace);
+  if (trace != nullptr) {
+    for (const SlotId s : net.graph().active_slots()) {
+      trace->emit(obs::TraceEventKind::kJoin, s, net.placement().host_of(s));
+    }
+  }
+  return net;
 }
 
 }  // namespace propsim

@@ -122,6 +122,7 @@ class PastryNetwork {
 /// OverlayNetwork over a Pastry network: slot i bound to hosts[i].
 OverlayNetwork make_pastry_overlay(const PastryNetwork& pastry,
                                    std::span<const NodeId> hosts,
-                                   const LatencyOracle& oracle);
+                                   const LatencyOracle& oracle,
+                                   obs::EventBus* trace = nullptr);
 
 }  // namespace propsim

@@ -91,6 +91,7 @@ class TapestryNetwork {
 /// OverlayNetwork over a Tapestry mesh: slot i bound to hosts[i].
 OverlayNetwork make_tapestry_overlay(const TapestryNetwork& tapestry,
                                      std::span<const NodeId> hosts,
-                                     const LatencyOracle& oracle);
+                                     const LatencyOracle& oracle,
+                                     obs::EventBus* trace = nullptr);
 
 }  // namespace propsim

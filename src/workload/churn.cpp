@@ -113,9 +113,14 @@ bool ChurnProcess::do_leave() {
       continue;
     }
     if (engine_ != nullptr) engine_->node_left(victim, former);
-    spares_.push_back(net_.placement().host_of(victim));
+    const NodeId host = net_.placement().host_of(victim);
+    spares_.push_back(host);
     net_.placement().unbind(victim);
     ++leaves_;
+    if (obs::EventBus* bus = net_.trace()) {
+      bus->emit(obs::TraceEventKind::kLeave, victim, host, 0.0,
+                former.size());
+    }
     return true;
   }
   return false;
@@ -142,9 +147,13 @@ bool ChurnProcess::do_fail() {
   // The crash itself: no handoff, edges just vanish.
   net_.graph().deactivate_slot(victim);
   if (engine_ != nullptr) engine_->node_left(victim, former);
-  spares_.push_back(net_.placement().host_of(victim));
+  const NodeId host = net_.placement().host_of(victim);
+  spares_.push_back(host);
   net_.placement().unbind(victim);
   ++failures_;
+  if (obs::EventBus* bus = net_.trace()) {
+    bus->emit(obs::TraceEventKind::kFail, victim, host, 0.0, former.size());
+  }
 
   // Survivor repair, as deployed unstructured peers do on keepalive
   // timeout: every orphaned neighbor below the attach floor re-dials a

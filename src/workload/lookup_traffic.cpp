@@ -50,7 +50,14 @@ void LookupTrafficProcess::issue_one() {
   const double latency = resolve_(q);
   if (!std::isfinite(latency)) {
     ++unreachable_;
+    if (obs::EventBus* bus = net_.trace()) {
+      bus->emit(obs::TraceEventKind::kLookup, q.src, q.dst, 0.0,
+                /*detail: unreachable=*/1);
+    }
     return;
+  }
+  if (obs::EventBus* bus = net_.trace()) {
+    bus->emit(obs::TraceEventKind::kLookup, q.src, q.dst, latency);
   }
   window_.add(latency);
   latencies_.add(latency);

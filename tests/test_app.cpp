@@ -334,20 +334,36 @@ TEST(RunExperiment, OracleModesAgree) {
 
 TEST(ExperimentResult, CountersViewIsStable) {
   const auto result = run_experiment(must_parse(small_base("")));
-  EXPECT_EQ(ExperimentResult::kCountersVersion, 1);
+  EXPECT_EQ(ExperimentResult::kCountersVersion, 2);
   const auto counters = result.counters();
   ASSERT_GE(counters.size(), 4u);
   // Spot-check the fixed order and that values mirror the struct.
   EXPECT_EQ(counters[0].first, "exchanges");
   EXPECT_EQ(counters[0].second, result.exchanges);
   bool found_control = false;
+  bool found_trace_events = false;
   for (const auto& [name, value] : counters) {
     if (name == "control_messages") {
       found_control = true;
       EXPECT_EQ(value, result.control_messages);
     }
+    if (name == "trace_events") {
+      found_trace_events = true;
+      EXPECT_EQ(value, result.trace.events);
+    }
   }
   EXPECT_TRUE(found_control);
+  EXPECT_TRUE(found_trace_events);
+}
+
+TEST(ExperimentResult, EventBusCountersMatchEngineStats) {
+  if (!obs::trace_compiled_in()) GTEST_SKIP() << "PROPSIM_TRACE=OFF build";
+  const auto result = run_experiment(must_parse(small_base("")));
+  // Every committed exchange and probe trial went over the bus.
+  EXPECT_EQ(result.trace.count(obs::TraceEventKind::kExchangeCommit),
+            result.exchanges);
+  EXPECT_EQ(result.trace.count(obs::TraceEventKind::kProbe),
+            result.attempts);
 }
 
 }  // namespace

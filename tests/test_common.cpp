@@ -371,6 +371,68 @@ TEST(Json, LargeIntegersStayIntegral) {
   EXPECT_EQ(Json(std::int64_t{-42}).dump(), "-42");
 }
 
+TEST(JsonParse, RoundTripsBuilderOutput) {
+  Json obj = Json::object();
+  obj.set("name", "propsim").set("pi", 3.25).set("ok", true);
+  Json xs = Json::array();
+  xs.push_back(1).push_back(Json());
+  obj.set("xs", std::move(xs));
+  std::string error;
+  const auto parsed = Json::parse(obj.dump(2), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->dump(), obj.dump());
+  EXPECT_EQ(parsed->find("name")->as_string(), "propsim");
+  EXPECT_DOUBLE_EQ(parsed->find("pi")->as_double(), 3.25);
+  EXPECT_TRUE(parsed->find("ok")->as_bool());
+  EXPECT_TRUE(parsed->find("xs")->array_items()[1].is_null());
+  EXPECT_EQ(parsed->find("missing"), nullptr);
+}
+
+TEST(JsonParse, HandlesEscapesAndUnicode) {
+  std::string error;
+  const auto parsed =
+      Json::parse(R"({"s": "a\"b\\c\nAé"})", &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->find("s")->as_string(), "a\"b\\c\nA\xc3\xa9");
+}
+
+TEST(JsonParse, SurrogatePairsDecodeToUtf8) {
+  std::string error;
+  const auto parsed = Json::parse(R"(["😀"])", &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->array_items()[0].as_string(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "01", "1e", "\"unterminated",
+        "{\"a\":1} trailing", "nul", "[1 2]", "{\"a\" 1}"}) {
+    std::string error;
+    EXPECT_FALSE(Json::parse(bad, &error).has_value()) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+TEST(JsonParse, RejectsRunawayNesting) {
+  std::string deep(400, '[');
+  deep += std::string(400, ']');
+  EXPECT_FALSE(Json::parse(deep).has_value());
+}
+
+TEST(JsonParse, NumbersParseExactly) {
+  std::string error;
+  const auto parsed =
+      Json::parse("[0, -1, 2.5, 1e3, 1.25e-2, 18446744073709551615]", &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  const auto& xs = parsed->array_items();
+  EXPECT_DOUBLE_EQ(xs[0].as_double(), 0.0);
+  EXPECT_DOUBLE_EQ(xs[1].as_double(), -1.0);
+  EXPECT_DOUBLE_EQ(xs[2].as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(xs[3].as_double(), 1000.0);
+  EXPECT_DOUBLE_EQ(xs[4].as_double(), 0.0125);
+  EXPECT_DOUBLE_EQ(xs[5].as_double(), 18446744073709551615.0);
+}
+
 // -------------------------------------------------------------- table ----
 
 TEST(Table, AsciiAndCsv) {

@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "app/experiment.h"
+#include "common/config.h"
+#include "common/json.h"
+#include "obs/event_bus.h"
+
+namespace propsim {
+namespace {
+
+ExperimentSpec must_parse(const Config& config) {
+  const SpecResult parsed = ExperimentSpec::from_config(config);
+  EXPECT_TRUE(parsed.ok()) << parsed.error_report();
+  return parsed.ok() ? parsed.spec() : ExperimentSpec{};
+}
+
+/// Small fixed-seed PROP-G run; horizon crosses the warm-up boundary
+/// (init_timer * max_init_trial = 100 s) so both phases see events.
+Config golden_config(const std::string& extra) {
+  return Config::parse(
+      "nodes = 64\nhorizon = 400\nsample_interval = 100\n"
+      "queries = 300\ninit_timer = 10\nseed = 20070901\n" +
+      extra);
+}
+
+std::vector<Json> read_jsonl(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::vector<Json> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::string error;
+    const auto parsed = Json::parse(line, &error);
+    EXPECT_TRUE(parsed.has_value()) << error << "\nline: " << line;
+    if (parsed) lines.push_back(*parsed);
+  }
+  return lines;
+}
+
+// ------------------------------------------------------------ EventBus --
+
+TEST(EventBus, CountsByPhaseAndKind) {
+  obs::EventBus bus;
+  double now = 0.0;
+  bus.set_clock([&now] { return now; });
+  bus.set_phase_boundary(100.0);
+  bus.emit(obs::TraceEventKind::kProbe, 1);
+  now = 99.0;
+  bus.emit(obs::TraceEventKind::kExchangeCommit, 1, 2, 0.5);
+  now = 100.0;  // boundary itself is maintenance
+  bus.emit(obs::TraceEventKind::kExchangeCommit, 3, 4, 0.7);
+  now = 250.0;
+  bus.emit(obs::TraceEventKind::kLeave, 3);
+
+  if (!obs::trace_compiled_in()) {
+    EXPECT_EQ(bus.total_events(), 0u);  // emit compiled out
+    return;
+  }
+  EXPECT_EQ(bus.total_events(), 4u);
+  EXPECT_EQ(bus.count(obs::TracePhase::kWarmup,
+                      obs::TraceEventKind::kExchangeCommit),
+            1u);
+  EXPECT_EQ(bus.count(obs::TracePhase::kMaintenance,
+                      obs::TraceEventKind::kExchangeCommit),
+            1u);
+  EXPECT_EQ(bus.count(obs::TraceEventKind::kExchangeCommit), 2u);
+  EXPECT_EQ(bus.count(obs::TracePhase::kWarmup, obs::TraceEventKind::kProbe),
+            1u);
+  EXPECT_EQ(bus.count(obs::TracePhase::kMaintenance,
+                      obs::TraceEventKind::kLeave),
+            1u);
+
+  const obs::TraceSummary s = bus.summary();
+  EXPECT_EQ(s.events, 4u);
+  EXPECT_EQ(s.events_by_phase[0], 2u);
+  EXPECT_EQ(s.events_by_phase[1], 2u);
+  EXPECT_DOUBLE_EQ(s.phase_boundary_s, 100.0);
+  EXPECT_GE(s.warmup_wall_ms, 0.0);
+  EXPECT_GE(s.maintenance_wall_ms, 0.0);
+}
+
+TEST(EventBus, NoClockStampsZero) {
+  obs::EventBus bus;
+  bus.set_phase_boundary(10.0);
+  bus.emit(obs::TraceEventKind::kJoin, 7);
+  if (!obs::trace_compiled_in()) return;
+  // Time 0 < boundary => warm-up.
+  EXPECT_EQ(bus.count(obs::TracePhase::kWarmup, obs::TraceEventKind::kJoin),
+            1u);
+}
+
+// ----------------------------------------------------------- TraceSink --
+
+TEST(TraceSink, StreamsSchemaValidJsonl) {
+  const std::string path = testing::TempDir() + "trace_sink_unit.jsonl";
+  {
+    obs::TraceSink sink(path, /*buffer_events=*/3);  // force wrap flushes
+    ASSERT_TRUE(sink.ok());
+    obs::EventBus bus;
+    double now = 0.0;
+    bus.set_clock([&now] { return now; });
+    bus.set_phase_boundary(5.0);
+    bus.attach_sink(&sink);
+    for (int i = 0; i < 10; ++i) {
+      now = static_cast<double>(i);
+      bus.emit(obs::TraceEventKind::kWalkHop, static_cast<std::uint32_t>(i),
+               static_cast<std::uint32_t>(i + 1), 1.5 * i,
+               static_cast<std::uint64_t>(i));
+    }
+    bus.finalize();
+    if (obs::trace_compiled_in()) {
+      EXPECT_EQ(sink.events_written(), 10u);
+    }
+    sink.close();
+  }
+  const std::vector<Json> lines = read_jsonl(path);
+  ASSERT_GE(lines.size(), 1u);
+  // Header: schema, version, vocabulary.
+  const Json& header = lines[0];
+  EXPECT_EQ(header.find("schema")->as_string(), "propsim.trace");
+  EXPECT_EQ(header.find("version")->as_double(), obs::TraceSink::kSchemaVersion);
+  EXPECT_DOUBLE_EQ(header.find("phase_boundary_s")->as_double(), 5.0);
+  EXPECT_EQ(header.find("kinds")->array_items().size(),
+            obs::kTraceEventKindCount);
+  if (!obs::trace_compiled_in()) {
+    EXPECT_EQ(lines.size(), 1u);  // header only
+    return;
+  }
+  ASSERT_EQ(lines.size(), 11u);
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const Json& e = lines[i];
+    EXPECT_EQ(e.find("kind")->as_string(), "walk-hop");
+    const double t = e.find("t")->as_double();
+    EXPECT_EQ(e.find("phase")->as_string(),
+              t < 5.0 ? "warmup" : "maintenance");
+    EXPECT_DOUBLE_EQ(e.find("value")->as_double(), 1.5 * t);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceSink, ReportsUnopenablePath) {
+  obs::TraceSink sink("/nonexistent-dir/propsim-trace.jsonl");
+  EXPECT_FALSE(sink.ok());
+}
+
+// ------------------------------------------------------- Spec parsing ---
+
+TEST(TraceSpec, TraceBufferWithoutTraceIsAnError) {
+  const SpecResult r = ExperimentSpec::from_config(
+      Config::parse("trace_buffer = 64\n"));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(TraceSpec, TraceKeyRequiresCompiledInBuild) {
+  const SpecResult r = ExperimentSpec::from_config(
+      golden_config("trace = /tmp/x.jsonl\n"));
+  EXPECT_EQ(r.ok(), obs::trace_compiled_in());
+}
+
+// ----------------------------------------------- Golden experiment run --
+
+TEST(TraceGolden, FixedSeedRunEmitsSchemaValidStream) {
+  if (!obs::trace_compiled_in()) GTEST_SKIP() << "PROPSIM_TRACE=OFF build";
+  const std::string path = testing::TempDir() + "trace_golden.jsonl";
+  const auto spec = must_parse(golden_config("trace = " + path + "\n"));
+  const ExperimentResult result = run_experiment(spec);
+  EXPECT_GT(result.exchanges, 0u);
+  EXPECT_EQ(result.trace.sink_path, path);
+  EXPECT_EQ(result.trace.sink_events, result.trace.events);
+
+  const std::vector<Json> lines = read_jsonl(path);
+  ASSERT_EQ(lines.size(), result.trace.events + 1);  // header + events
+  EXPECT_EQ(lines[0].find("schema")->as_string(), "propsim.trace");
+
+  // Both phases are populated (boundary 100 s inside the 400 s horizon),
+  // events are time-ordered within the simulation, and the streamed
+  // exchange-commit count equals the protocol counter.
+  std::uint64_t commits = 0;
+  std::uint64_t warmup = 0;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const Json& e = lines[i];
+    const double t = e.find("t")->as_double();
+    EXPECT_GE(t, 0.0);
+    EXPECT_LE(t, spec.horizon_s);
+    EXPECT_EQ(e.find("phase")->as_string(),
+              t < result.trace.phase_boundary_s ? "warmup" : "maintenance");
+    if (e.find("kind")->as_string() == "exchange-commit") ++commits;
+    if (e.find("phase")->as_string() == "warmup") ++warmup;
+  }
+  EXPECT_EQ(commits, result.exchanges);
+  EXPECT_EQ(commits, result.trace.count(obs::TraceEventKind::kExchangeCommit));
+  EXPECT_EQ(warmup, result.trace.events_by_phase[0]);
+  EXPECT_GT(warmup, 0u);
+  EXPECT_GT(result.trace.events_by_phase[1], 0u);
+
+  // counters() v2 exposes the same number.
+  bool found = false;
+  for (const auto& [name, value] : result.counters()) {
+    if (name == "maintenance_exchanges" || name == "warmup_exchanges") {
+      found = true;
+    }
+    if (name == "exchange_aborts") {
+      EXPECT_EQ(value,
+                result.trace.count(obs::TraceEventKind::kExchangeAbort));
+    }
+  }
+  EXPECT_TRUE(found);
+  std::remove(path.c_str());
+}
+
+TEST(TraceGolden, SinkAttachmentDoesNotPerturbResults) {
+  const std::string path = testing::TempDir() + "trace_identical.jsonl";
+  const ExperimentResult plain = run_experiment(must_parse(golden_config("")));
+  ExperimentResult traced = plain;
+  if (obs::trace_compiled_in()) {
+    traced = run_experiment(
+        must_parse(golden_config("trace = " + path + "\n")));
+    std::remove(path.c_str());
+  }
+  // The sink only serializes what the bus already counts: simulation
+  // outcomes are identical with and without it (and, by the same
+  // argument, in PROPSIM_TRACE=OFF builds, where this degenerates to a
+  // self-comparison but the run above still exercises the no-op path).
+  EXPECT_EQ(plain.exchanges, traced.exchanges);
+  EXPECT_EQ(plain.attempts, traced.attempts);
+  EXPECT_EQ(plain.control_messages, traced.control_messages);
+  EXPECT_DOUBLE_EQ(plain.initial_value, traced.initial_value);
+  EXPECT_DOUBLE_EQ(plain.final_value, traced.final_value);
+  ASSERT_EQ(plain.series.points().size(), traced.series.points().size());
+  for (std::size_t i = 0; i < plain.series.points().size(); ++i) {
+    EXPECT_DOUBLE_EQ(plain.series.points()[i].value,
+                     traced.series.points()[i].value);
+  }
+  EXPECT_EQ(plain.trace.events, traced.trace.events);
+}
+
+TEST(TraceGolden, DhtRunEmitsJoinAndLookupHops) {
+  if (!obs::trace_compiled_in()) GTEST_SKIP() << "PROPSIM_TRACE=OFF build";
+  const auto spec = must_parse(Config::parse(
+      "overlay = chord\nnodes = 64\nhorizon = 200\nsample_interval = 100\n"
+      "queries = 100\nlookup_rate = 2\n"));
+  const ExperimentResult result = run_experiment(spec);
+  EXPECT_EQ(result.trace.count(obs::TraceEventKind::kJoin), 64u);
+  EXPECT_GT(result.trace.count(obs::TraceEventKind::kLookupHop), 0u);
+  EXPECT_EQ(result.trace.count(obs::TraceEventKind::kLookup),
+            result.lookups_issued);
+}
+
+}  // namespace
+}  // namespace propsim

@@ -1,6 +1,7 @@
 // propsim_cli — run a config-driven overlay-optimization experiment.
 //
-//   propsim_cli [--format csv|json] experiment.conf [key=value ...]
+//   propsim_cli [--format csv|json] [--trace out.jsonl] experiment.conf
+//               [key=value ...]
 //   propsim_cli key=value [key=value ...]
 //
 // Config keys are documented in src/app/experiment.h; command-line
@@ -24,7 +25,11 @@ namespace {
 
 void usage(const char* argv0) {
   std::printf(
-      "usage: %s [--format csv|json] [config-file] [key=value ...]\n"
+      "usage: %s [--format csv|json] [--trace out.jsonl] [config-file] "
+      "[key=value ...]\n"
+      "\n"
+      "  --trace <path>  stream propsim.trace v1 JSONL events to <path>\n"
+      "                  (same as trace=<path>; needs PROPSIM_TRACE=ON)\n"
       "\n"
       "key reference (defaults in parentheses):\n"
       "  topology   ts-large|ts-small|waxman   (ts-large)\n"
@@ -40,7 +45,8 @@ void usage(const char* argv0) {
       "  churn_join_rate / churn_leave_rate / churn_fail_rate (0 /s)\n"
       "  churn_start (0) churn_end (horizon)\n"
       "  oracle auto|hierarchical|dijkstra (auto)\n"
-      "  oracle_cache_rows (1024)\n",
+      "  oracle_cache_rows (1024)\n"
+      "  trace (off)  trace_buffer (8192 events)\n",
       argv0);
 }
 
@@ -59,6 +65,10 @@ int main(int argc, char** argv) {
     }
     if (arg == "--json") {  // back-compat alias for --format json
       json_output = true;
+      continue;
+    }
+    if (arg == "--trace" && i + 1 < argc) {
+      config.set("trace", argv[++i]);
       continue;
     }
     if (arg == "--format" && i + 1 < argc) {
@@ -141,6 +151,19 @@ int main(int argc, char** argv) {
   if (result.commit_conflicts > 0) {
     std::printf("  commit conflicts: %llu\n",
                 static_cast<unsigned long long>(result.commit_conflicts));
+  }
+  if (result.trace.events > 0) {
+    std::printf("  trace: %llu events (%llu warm-up / %llu maintenance)\n",
+                static_cast<unsigned long long>(result.trace.events),
+                static_cast<unsigned long long>(
+                    result.trace.events_by_phase[0]),
+                static_cast<unsigned long long>(
+                    result.trace.events_by_phase[1]));
+    if (!result.trace.sink_path.empty()) {
+      std::printf("  trace file: %s (%llu events)\n",
+                  result.trace.sink_path.c_str(),
+                  static_cast<unsigned long long>(result.trace.sink_events));
+    }
   }
   std::printf("  population: %zu peers, overlay %s\n",
               result.final_population,
