@@ -36,7 +36,9 @@ constexpr const char* kKnownKeys[] = {
     "fraction_fast_dest", "churn_join_rate", "churn_leave_rate",
     "churn_fail_rate", "churn_start",       "churn_end",
     "oracle",          "oracle_cache_rows", "trace",
-    "trace_buffer",
+    "trace_buffer",    "fault_loss",        "fault_jitter",
+    "fault_crash",     "fault_max_retries", "fault_partition_domain",
+    "fault_partition_start", "fault_partition_end",
 };
 
 std::size_t edit_distance(const std::string& a, const std::string& b) {
@@ -349,6 +351,74 @@ SpecResult ExperimentSpec::from_config(const Config& config) {
     p.error("trace_buffer", "only meaningful together with trace = <path>");
   }
 
+  spec.faults.message_loss = p.get_double("fault_loss", 0.0);
+  if (spec.faults.message_loss < 0.0 || spec.faults.message_loss >= 1.0) {
+    p.error("fault_loss", "must be in [0, 1)");
+    spec.faults.message_loss = 0.0;
+  }
+  spec.faults.latency_jitter = p.get_double("fault_jitter", 0.0);
+  if (spec.faults.latency_jitter < 0.0 || spec.faults.latency_jitter >= 1.0) {
+    p.error("fault_jitter", "must be in [0, 1)");
+    spec.faults.latency_jitter = 0.0;
+  }
+  spec.faults.crash_per_negotiation = p.get_double("fault_crash", 0.0);
+  if (spec.faults.crash_per_negotiation < 0.0 ||
+      spec.faults.crash_per_negotiation >= 1.0) {
+    p.error("fault_crash", "must be in [0, 1)");
+    spec.faults.crash_per_negotiation = 0.0;
+  }
+  const std::int64_t fault_retries = p.get_int("fault_max_retries", 2);
+  if (fault_retries < 0) p.error("fault_max_retries", "must be >= 0");
+  spec.faults.max_negotiation_retries =
+      static_cast<std::size_t>(std::max<std::int64_t>(fault_retries, 0));
+  const bool wants_partition = config.has("fault_partition_domain") ||
+                               config.has("fault_partition_start") ||
+                               config.has("fault_partition_end");
+  if (wants_partition) {
+    if (!config.has("fault_partition_domain") ||
+        !config.has("fault_partition_start") ||
+        !config.has("fault_partition_end")) {
+      p.error("fault_partition_domain",
+              "a partition window needs fault_partition_domain, "
+              "fault_partition_start and fault_partition_end together");
+    } else {
+      PartitionWindow w;
+      const std::string domain =
+          config.get_string("fault_partition_domain", "");
+      if (domain == "auto") {
+        w.stub_domain = kPartitionDomainAuto;
+      } else {
+        const std::int64_t d = p.get_int("fault_partition_domain", 0);
+        if (d < 0) {
+          p.error("fault_partition_domain", "must be >= 0 or 'auto'");
+        }
+        w.stub_domain =
+            static_cast<std::uint32_t>(std::max<std::int64_t>(d, 0));
+      }
+      w.start_s = p.get_double("fault_partition_start", 0.0);
+      w.end_s = p.get_double("fault_partition_end", 0.0);
+      if (w.start_s < 0.0 || w.end_s <= w.start_s) {
+        p.error("fault_partition_end",
+                "window must satisfy 0 <= start < end");
+      } else {
+        spec.faults.partitions.push_back(w);
+      }
+      if (spec.topology == Topology::kWaxman) {
+        p.error("fault_partition_domain",
+                "partition windows cut a stub domain and require a "
+                "transit-stub topology",
+                "use topology = ts-large | ts-small");
+      }
+    }
+  }
+  if (spec.faults.crash_per_negotiation > 0.0 &&
+      spec.overlay != Overlay::kGnutella) {
+    p.error("fault_crash",
+            "crash injection repairs through the churn path and requires "
+            "the unstructured gnutella overlay",
+            std::string("overlay is ") + to_string(spec.overlay));
+  }
+
   const bool has_churn = spec.churn.join_rate_per_s > 0.0 ||
                          spec.churn.leave_rate_per_s > 0.0 ||
                          spec.churn.fail_rate_per_s > 0.0;
@@ -401,6 +471,14 @@ ExperimentResult::counters() const {
        trace.count(TracePhase::kMaintenance,
                    TraceEventKind::kExchangeCommit)},
       {"trace_events", trace.events},
+      // v3: resilience counters (two-phase protocol + fault injection).
+      {"timeouts", timeouts},
+      {"retries", retries},
+      {"aborted_mid_commit", aborted_mid_commit},
+      {"fault_messages", fault_messages},
+      {"fault_losses", fault_losses},
+      {"fault_partition_drops", fault_partition_drops},
+      {"fault_crashes", fault_crashes},
   };
 }
 
@@ -481,6 +559,41 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
       stub_pool.begin() + static_cast<std::ptrdiff_t>(spec.nodes +
                                                       spec.nodes / 4));
 
+  // --- Fault plan, between the overlay and the engines. The injector is
+  // constructed only when the spec asks for faults; otherwise every code
+  // path below runs byte-identically to a fault-free build (the engines
+  // gate all hardened branches on the injector's presence). ---
+  std::unique_ptr<FaultInjector> faults;
+  if (spec.faults.active()) {
+    FaultParams fparams = spec.faults;
+    for (PartitionWindow& w : fparams.partitions) {
+      PROPSIM_CHECK(ts != nullptr &&
+                    "partition windows require a transit-stub topology");
+      if (w.stub_domain == kPartitionDomainAuto) {
+        // "auto" picks the stub domain hosting the most overlay nodes so
+        // the window is guaranteed to isolate a meaningful population.
+        std::vector<std::size_t> population(ts->stub_domain_count, 0);
+        for (const NodeId h : hosts) {
+          if (ts->kind[h] == NodeKind::kStub) ++population[ts->domain[h]];
+        }
+        w.stub_domain = static_cast<std::uint32_t>(
+            std::max_element(population.begin(), population.end()) -
+            population.begin());
+      }
+      PROPSIM_CHECK(w.stub_domain < ts->stub_domain_count);
+    }
+    faults = std::make_unique<FaultInjector>(sim, fparams, spec.seed + 131);
+    faults->set_trace(&bus);
+    if (ts) {
+      std::vector<std::uint32_t> host_domain(physical->node_count(),
+                                             FaultInjector::kNoDomain);
+      for (NodeId h = 0; h < physical->node_count(); ++h) {
+        if (ts->kind[h] == NodeKind::kStub) host_domain[h] = ts->domain[h];
+      }
+      faults->set_host_domains(std::move(host_domain));
+    }
+  }
+
   // --- Overlay substrate + routed-latency metric. ---
   GnutellaConfig gcfg;
   std::unique_ptr<ChordRing> chord;
@@ -542,6 +655,11 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   const bool has_churn = spec.churn.join_rate_per_s > 0.0 ||
                          spec.churn.leave_rate_per_s > 0.0 ||
                          spec.churn.fail_rate_per_s > 0.0;
+  // Injected crashes change membership just like churn failures do, so
+  // they force per-sample query regeneration too.
+  const bool fault_crashes_on =
+      faults != nullptr && spec.faults.crash_per_negotiation > 0.0;
+  const bool membership_changes = has_churn || fault_crashes_on;
   auto make_queries = [&]() -> std::vector<QueryPair> {
     if (spec.fraction_fast_dest >= 0.0) {
       return biased_queries(net->graph(), delays->slot_fast(*net),
@@ -550,7 +668,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
     return uniform_queries(net->graph(), spec.queries, qrng);
   };
   std::vector<QueryPair> queries;
-  if (!has_churn) queries = make_queries();
+  if (!membership_changes) queries = make_queries();
 
   // Metric closure. The slot-delay view is re-materialized per sample
   // because PROP-G moves hosts and churn rebinds slots.
@@ -558,7 +676,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   const bool structured = spec.overlay != ExperimentSpec::Overlay::kGnutella;
   result.metric_name = structured ? "stretch" : "lookup_ms";
   auto metric = [&]() -> double {
-    if (has_churn) queries = make_queries();
+    if (membership_changes) queries = make_queries();
     std::vector<double> proc;
     const std::vector<double>* proc_ptr = nullptr;
     if (delays) {
@@ -611,6 +729,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
     case ExperimentSpec::Protocol::kPropO:
       prop = std::make_unique<PropEngine>(*net, sim, spec.prop,
                                           spec.seed + 101);
+      if (faults) prop->set_faults(faults.get());
       break;
     case ExperimentSpec::Protocol::kLtm:
       ltm = std::make_unique<LtmEngine>(*net, sim, spec.ltm, spec.seed + 103);
@@ -618,13 +737,33 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   }
 
   std::unique_ptr<ChurnProcess> churn;
-  if (has_churn) {
+  if (has_churn || fault_crashes_on) {
+    // Injected crashes reuse the churn failure path (node_left, survivor
+    // repair, component stitching); with all-zero rates start() schedules
+    // no Poisson arrivals, so a crash-only run pays nothing extra.
     churn = std::make_unique<ChurnProcess>(*net, sim, prop.get(), gcfg,
                                            spec.churn, spares,
                                            spec.seed + 107);
+    if (faults) churn->set_faults(faults.get());
+    if (fault_crashes_on) {
+      faults->set_crash_executor(
+          [c = churn.get()](SlotId victim) { return c->fail_slot(victim); });
+    }
   }
 
   // Optional event-driven lookup traffic experiencing the live overlay.
+  // Under a fault plan, floods honor partition windows: links whose
+  // hosts sit on opposite sides of a cut gateway are pruned. Random
+  // per-message loss is deliberately not applied to floods — flooding is
+  // redundant enough that independent edge loss rarely changes the first
+  // response, and modeling it would burn RNG per edge per lookup.
+  OverlayNetwork::LinkFilter flood_filter;
+  if (faults) {
+    flood_filter = [n = net.get(), f = faults.get()](SlotId a, SlotId b) {
+      return !f->partitioned(n->placement().host_of(a),
+                             n->placement().host_of(b));
+    };
+  }
   std::unique_ptr<LookupTrafficProcess> traffic;
   if (spec.lookup_rate_per_s > 0.0) {
     LookupTrafficParams tparams;
@@ -653,7 +792,8 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
       };
       switch (spec.overlay) {
         case ExperimentSpec::Overlay::kGnutella:
-          return net->flood_latencies(q.src, proc_ptr)[q.dst];
+          return net->flood_latencies(
+              q.src, proc_ptr, flood_filter ? &flood_filter : nullptr)[q.dst];
         case ExperimentSpec::Overlay::kChord:
           return routed(chord->lookup_path(q.src, chord->id_of(q.dst)));
         case ExperimentSpec::Overlay::kPastry:
@@ -673,6 +813,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
 
   ConvergenceSampler sampler(sim, result.metric_name, 0.0, spec.horizon_s,
                              spec.sample_interval_s, metric);
+  if (faults) faults->start();
   if (traffic) traffic->start();
   if (prop) prop->start();
   if (ltm) ltm->start();
@@ -686,6 +827,15 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
     result.exchanges = prop->stats().exchanges;
     result.attempts = prop->stats().attempts;
     result.commit_conflicts = prop->stats().commit_conflicts;
+    result.timeouts = prop->stats().timeouts;
+    result.retries = prop->stats().retries;
+    result.aborted_mid_commit = prop->stats().aborted_mid_commit;
+  }
+  if (faults) {
+    result.fault_messages = faults->stats().messages;
+    result.fault_losses = faults->stats().losses;
+    result.fault_partition_drops = faults->stats().partition_drops;
+    result.fault_crashes = faults->stats().crashes_executed;
   }
   if (traffic) {
     result.observed = traffic->observed();

@@ -29,6 +29,14 @@
 //   trace      = <path>   (stream propsim.trace v1 JSONL; requires a
 //                          PROPSIM_TRACE=ON build)
 //   trace_buffer = <int>  (sink ring-buffer capacity, default 8192)
+//   fault_loss = <0..1>     (per-message loss probability, default 0)
+//   fault_jitter = <0..1>   (negotiation latency jitter amplitude)
+//   fault_crash = <0..1>    (mid-negotiation crash probability;
+//                            requires overlay = gnutella)
+//   fault_max_retries = <int>  (prepare retransmissions, default 2)
+//   fault_partition_domain = <int> | auto   (stub domain to cut;
+//                            requires a transit-stub topology)
+//   fault_partition_start, fault_partition_end = <seconds>
 //
 // from_config returns a SpecResult: structured per-key errors (including
 // unknown keys, with did-you-mean suggestions) instead of aborting the
@@ -44,6 +52,7 @@
 #include "common/config.h"
 #include "common/timeseries.h"
 #include "core/params.h"
+#include "faults/fault_plan.h"
 #include "obs/event_bus.h"
 #include "workload/churn.h"
 #include "workload/heterogeneity.h"
@@ -77,6 +86,11 @@ struct ExperimentSpec {
   double fraction_fast_dest = -1.0;
 
   ChurnParams churn;  // all-zero rates = no churn
+
+  /// Fault-injection plan (src/faults). An injector is constructed only
+  /// when faults.active() — a config with fault_loss = 0 and no other
+  /// fault knob runs the exact fault-free code path, bit-identically.
+  FaultParams faults;
 
   /// Event-driven lookup arrivals per second (0 = snapshot metric only).
   double lookup_rate_per_s = 0.0;
@@ -138,7 +152,10 @@ struct ExperimentResult {
   /// v2: added the event-bus counters (walk_hops, flood_hops,
   /// lookup_hops, exchange_aborts, warmup_exchanges,
   /// maintenance_exchanges, trace_events); all v1 names are unchanged.
-  static constexpr int kCountersVersion = 2;
+  /// v3: added the resilience counters (timeouts, retries,
+  /// aborted_mid_commit, fault_messages, fault_losses,
+  /// fault_partition_drops, fault_crashes); v1/v2 names are unchanged.
+  static constexpr int kCountersVersion = 3;
 
   /// "lookup_ms" for unstructured overlays, "stretch" for DHTs.
   std::string metric_name;
@@ -154,6 +171,13 @@ struct ExperimentResult {
   std::uint64_t churn_leaves = 0;
   std::uint64_t churn_failures = 0;
   std::uint64_t commit_conflicts = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t aborted_mid_commit = 0;
+  std::uint64_t fault_messages = 0;
+  std::uint64_t fault_losses = 0;
+  std::uint64_t fault_partition_drops = 0;
+  std::uint64_t fault_crashes = 0;
   bool connected = false;
   std::size_t final_population = 0;
 

@@ -76,6 +76,40 @@ Json experiment_result_json(const ExperimentSpec& spec,
   }
   out.set("trace", std::move(trace));
 
+  // Fault-plan stanza (additive; present only when the spec injects
+  // faults, so fault-free results stay byte-identical to pre-fault runs).
+  if (spec.faults.active()) {
+    Json faults = Json::object();
+    faults.set("loss", spec.faults.message_loss)
+        .set("jitter", spec.faults.latency_jitter)
+        .set("crash", spec.faults.crash_per_negotiation)
+        .set("max_retries",
+             static_cast<std::uint64_t>(spec.faults.max_negotiation_retries))
+        .set("messages", result.fault_messages)
+        .set("losses", result.fault_losses)
+        .set("partition_drops", result.fault_partition_drops)
+        .set("crashes", result.fault_crashes)
+        .set("timeouts", result.timeouts)
+        .set("retries", result.retries)
+        .set("aborted_mid_commit", result.aborted_mid_commit);
+    if (!spec.faults.partitions.empty()) {
+      Json windows = Json::array();
+      for (const PartitionWindow& w : spec.faults.partitions) {
+        Json window = Json::object();
+        if (w.stub_domain == kPartitionDomainAuto) {
+          window.set("stub_domain", "auto");
+        } else {
+          window.set("stub_domain",
+                     static_cast<std::uint64_t>(w.stub_domain));
+        }
+        window.set("start_s", w.start_s).set("end_s", w.end_s);
+        windows.push_back(std::move(window));
+      }
+      faults.set("partitions", std::move(windows));
+    }
+    out.set("faults", std::move(faults));
+  }
+
   if (result.lookups_issued > 0) {
     Json traffic = Json::object();
     traffic.set("issued", result.lookups_issued)

@@ -137,6 +137,10 @@ void DynamicChord::stabilize(SlotId s) {
       return;
     }
   }
+  // The round opens with a remote read of succ0's state; when a lossy
+  // network drops it, this round learns nothing and stale entries wait
+  // for the next one.
+  if (filter_ && !filter_(s, succ0)) return;
   // Adopt succ0's predecessor when it sits between us and succ0.
   const SlotId x = pred_[succ0];
   if (x != kInvalidSlot && x < active_.size() && active_[x] && x != s &&
@@ -156,6 +160,10 @@ void DynamicChord::fix_finger(SlotId s) {
   PROPSIM_CHECK(is_active(s));
   const std::size_t k = next_finger_[s];
   next_finger_[s] = (k + 1) % config_.finger_bits;
+  // The refresh lookup leaves s toward its ring successor; dropping
+  // that first message skips the refresh (the finger keeps its stale
+  // value, still round-robin advanced so the others get their turn).
+  if (filter_ && !filter_(s, first_live_successor(s))) return;
   const ChordId point = ids_[s] + (ChordId{1} << k);
   const LookupResult res = lookup(s, point);
   if (res.ok) finger_[s][k] = res.path.back();

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -50,6 +51,17 @@ class DynamicChord {
   /// Crash: the node vanishes; neighbors discover the failure lazily
   /// when stabilize probes dead entries.
   void fail(SlotId s);
+
+  /// Optional message filter modelling a lossy network between repair
+  /// rounds: (from, to) -> deliverable. When present and the remote read
+  /// opening a stabilize or fix-finger round is dropped, that round is
+  /// skipped — stale entries persist until a later round gets through,
+  /// which is exactly how the real protocol degrades under loss. Pass an
+  /// empty function to restore the reliable network.
+  using MessageFilter = std::function<bool(SlotId from, SlotId to)>;
+  void set_message_filter(MessageFilter filter) {
+    filter_ = std::move(filter);
+  }
 
   /// One stabilization round for node s: repair the successor (skipping
   /// dead list entries), adopt a closer predecessor-of-successor, notify,
@@ -103,6 +115,7 @@ class DynamicChord {
   std::vector<std::vector<SlotId>> succ_;    // successor lists
   std::vector<std::vector<SlotId>> finger_;  // finger_bits entries
   std::vector<std::size_t> next_finger_;     // round-robin fix index
+  MessageFilter filter_;                     // empty = reliable network
   std::size_t active_count_ = 0;
 };
 

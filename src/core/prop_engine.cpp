@@ -39,6 +39,7 @@ void PropEngine::stop() {
       st.pending = kInvalidEvent;
     }
     st.active = false;
+    st.peer = kInvalidSlot;
   }
   started_ = false;
 }
@@ -50,6 +51,7 @@ void PropEngine::init_node(SlotId s) {
   st.trials = 0;
   st.pending = kInvalidEvent;
   st.active = true;
+  st.peer = kInvalidSlot;
 }
 
 void PropEngine::schedule_probe(SlotId s, double delay) {
@@ -143,6 +145,22 @@ bool PropEngine::attempt(SlotId u) {
     }
   }
 
+  // Under fault injection every hop toward the counterpart is a real
+  // message that can be lost; the first drop kills the trial like a
+  // dead-end walk does.
+  if (faults_ != nullptr) {
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      if (faults_->deliver(net_.placement().host_of(path[i - 1]),
+                           net_.placement().host_of(path[i]))) {
+        continue;
+      }
+      ++stats_.walk_failures;
+      abort_with_reason(u, first_hop, obs::AbortReason::kMessageLost);
+      handle_failure(u, first_hop);
+      return false;
+    }
+  }
+
   // Plan the exchange and evaluate Var.
   std::optional<ExchangePlan> plan;
   if (params_.mode == PropMode::kPropG) {
@@ -175,22 +193,13 @@ bool PropEngine::attempt(SlotId u) {
     return false;
   }
 
-  if (params_.model_message_delays) {
+  if (params_.model_message_delays || faults_ != nullptr) {
     // The decision travels over the network: commit only after the
     // negotiation round-trips, re-validating against whatever the
-    // overlay looks like by then. The node's next probe is scheduled by
-    // the commit handler, so take over its pending slot.
-    NodeState& st = state_[u];
-    if (st.pending != kInvalidEvent) {
-      sim_.cancel(st.pending);
-      st.pending = kInvalidEvent;
-    }
-    const double delay = negotiation_delay_s(path);
-    st.pending = sim_.schedule_in(
-        delay, [this, u, first_hop, v, path = std::move(path)]() mutable {
-          state_[u].pending = kInvalidEvent;
-          commit_after_delay(u, first_hop, v, std::move(path));
-        });
+    // overlay looks like by then. Fault injection implies message-delay
+    // modeling — a lossy network with atomic exchanges would be
+    // contradictory.
+    begin_negotiation(u, first_hop, v, std::move(path), /*retries_used=*/0);
     return false;  // outcome pending
   }
 
@@ -241,36 +250,19 @@ double PropEngine::negotiation_delay_s(std::span<const SlotId> path) const {
   return (2.0 * walk_ms + 2.0 * probe_ms) / 1000.0;
 }
 
-void PropEngine::commit_after_delay(SlotId u, SlotId first_hop, SlotId v,
-                                    std::vector<SlotId> path) {
-  NodeState& st = state_[u];
-  if (!st.active) return;
-  auto conflict = [&] {
-    ++stats_.commit_conflicts;
-    if (obs::EventBus* bus = net_.trace()) {
-      bus->emit(obs::TraceEventKind::kExchangeAbort, u, v, 0.0,
-                static_cast<std::uint64_t>(obs::AbortReason::kCommitConflict));
-    }
-    handle_failure(u, first_hop);
-    schedule_probe(u, st.timer);
-  };
+bool PropEngine::validate_and_apply(SlotId u, SlotId first_hop, SlotId v,
+                                    const std::vector<SlotId>& path) {
+  (void)first_hop;
   // The world may have changed while the decision was in flight: every
   // path slot must still be active and every path edge present (the
   // connectivity argument of Theorem 1 depends on the path surviving).
-  if (!net_.graph().is_active(v)) {
-    conflict();
-    return;
-  }
+  if (!net_.graph().is_active(v)) return false;
   for (std::size_t i = 0; i < path.size(); ++i) {
-    if (!net_.graph().is_active(path[i])) {
-      conflict();
-      return;
-    }
+    if (!net_.graph().is_active(path[i])) return false;
     // Random-target probing has no walk path, so no edges to check.
     if (!params_.random_target && i > 0 &&
         !net_.graph().has_edge(path[i - 1], path[i])) {
-      conflict();
-      return;
+      return false;
     }
   }
   // Re-plan from fresh state; a concurrent exchange may have flipped
@@ -282,10 +274,7 @@ void PropEngine::commit_after_delay(SlotId u, SlotId first_hop, SlotId v,
     plan = plan_prop_o(net_, u, v, path, effective_m_, params_.selection,
                        rng_);
   }
-  if (!plan.has_value() || plan->var <= params_.min_var) {
-    conflict();
-    return;
-  }
+  if (!plan.has_value() || plan->var <= params_.min_var) return false;
   apply_exchange(net_, *plan);
   if (swap_log_ != nullptr && plan->mode == PropMode::kPropG) {
     swap_log_->record(sim_.now(), plan->u, plan->v);
@@ -300,6 +289,160 @@ void PropEngine::commit_after_delay(SlotId u, SlotId first_hop, SlotId v,
               plan->var, plan->from_u.size());
   }
   notify_observer(*plan);
+  return true;
+}
+
+void PropEngine::abort_with_reason(SlotId u, SlotId v,
+                                   obs::AbortReason reason) {
+  if (obs::EventBus* bus = net_.trace()) {
+    bus->emit(obs::TraceEventKind::kExchangeAbort, u, v, 0.0,
+              static_cast<std::uint64_t>(reason));
+  }
+}
+
+void PropEngine::release_lock(SlotId u, SlotId v) {
+  if (u < state_.size() && state_[u].peer == v) {
+    state_[u].peer = kInvalidSlot;
+  }
+  if (v < state_.size() && state_[v].peer == u) {
+    state_[v].peer = kInvalidSlot;
+  }
+}
+
+void PropEngine::commit_after_delay(SlotId u, SlotId first_hop, SlotId v,
+                                    std::vector<SlotId> path) {
+  NodeState& st = state_[u];
+  if (!st.active) return;
+  if (!validate_and_apply(u, first_hop, v, path)) {
+    ++stats_.commit_conflicts;
+    abort_with_reason(u, v, obs::AbortReason::kCommitConflict);
+    handle_failure(u, first_hop);
+    schedule_probe(u, st.timer);
+    return;
+  }
+  handle_success(u, first_hop);
+  schedule_probe(u, st.timer);
+}
+
+void PropEngine::begin_negotiation(SlotId u, SlotId first_hop, SlotId v,
+                                   std::vector<SlotId> path,
+                                   std::size_t retries_used) {
+  NodeState& st = state_[u];
+  if (!st.active) return;
+  if (st.peer != kInvalidSlot) {
+    // Already prepared with a counterpart; that negotiation owns the
+    // pending event slot, so this attempt just dies.
+    abort_with_reason(u, v, obs::AbortReason::kPeerBusy);
+    handle_failure(u, first_hop);
+    return;
+  }
+  // The node's next probe is scheduled by the outcome handler, so take
+  // over its pending slot.
+  if (st.pending != kInvalidEvent) {
+    sim_.cancel(st.pending);
+    st.pending = kInvalidEvent;
+  }
+  const double base_delay = negotiation_delay_s(path);
+  if (faults_ == nullptr) {
+    // Plain delayed-commit mode: single scheduled commit, no locks —
+    // the pre-fault protocol, byte-for-byte.
+    st.pending = sim_.schedule_in(
+        base_delay,
+        [this, u, first_hop, v, path = std::move(path)]() mutable {
+          state_[u].pending = kInvalidEvent;
+          commit_after_delay(u, first_hop, v, std::move(path));
+        });
+    return;
+  }
+  // Hardened two-phase path. The counterpart must be alive and idle —
+  // a node inside another negotiation window refuses cleanly.
+  if (!net_.graph().is_active(v) || state_[v].peer != kInvalidSlot) {
+    abort_with_reason(u, v, obs::AbortReason::kPeerBusy);
+    handle_failure(u, first_hop);
+    schedule_probe(u, st.timer);
+    return;
+  }
+  // PREPARE leg u -> v: a loss is detected by timeout after one RTO and
+  // retransmitted from scratch, up to the injector's retry budget, with
+  // the Markov-chain backoff taking over when the budget runs out.
+  if (!faults_->deliver(net_.placement().host_of(u),
+                        net_.placement().host_of(v))) {
+    ++stats_.timeouts;
+    if (obs::EventBus* bus = net_.trace()) {
+      bus->emit(obs::TraceEventKind::kNegotiationTimeout, u, v, 0.0,
+                retries_used);
+    }
+    if (retries_used < faults_->params().max_negotiation_retries) {
+      ++stats_.retries;
+      const double rto = faults_->params().rto_factor * base_delay;
+      st.pending = sim_.schedule_in(
+          rto, [this, u, first_hop, v, path = std::move(path),
+                retries_used]() mutable {
+            state_[u].pending = kInvalidEvent;
+            begin_negotiation(u, first_hop, v, std::move(path),
+                              retries_used + 1);
+          });
+      return;
+    }
+    abort_with_reason(u, v, obs::AbortReason::kNegotiationTimeout);
+    handle_failure(u, first_hop);
+    schedule_probe(u, st.timer);
+    return;
+  }
+  // Prepare accepted: both endpoints lock for the negotiation window so
+  // neither starts a conflicting exchange, and a crash of either inside
+  // the window can be attributed to this negotiation.
+  st.peer = v;
+  state_[v].peer = u;
+  const double delay = faults_->jitter(base_delay);
+  faults_->maybe_schedule_crash(u, v, delay);
+  st.pending = sim_.schedule_in(
+      delay, [this, u, first_hop, v, path = std::move(path)]() mutable {
+        state_[u].pending = kInvalidEvent;
+        finish_two_phase(u, first_hop, v, std::move(path));
+      });
+}
+
+void PropEngine::finish_two_phase(SlotId u, SlotId first_hop, SlotId v,
+                                  std::vector<SlotId> path) {
+  NodeState& st = state_[u];
+  if (!st.active) return;  // initiator crashed; node_left settled it
+  const bool was_locked = st.peer == v;
+  release_lock(u, v);
+  if (!was_locked) {
+    // A mid-window crash of the counterpart already aborted (and
+    // counted) this exchange through node_left; the initiator only
+    // backs off.
+    handle_failure(u, first_hop);
+    schedule_probe(u, st.timer);
+    return;
+  }
+  if (!net_.graph().is_active(v)) {
+    ++stats_.commit_conflicts;
+    abort_with_reason(u, v, obs::AbortReason::kCommitConflict);
+    handle_failure(u, first_hop);
+    schedule_probe(u, st.timer);
+    return;
+  }
+  // COMMIT leg v -> u: losing it after a successful prepare drops the
+  // exchange mid-commit. Nothing was applied at prepare time, so both
+  // endpoints just fall back to their pre-prepare neighbor state.
+  if (!faults_->deliver(net_.placement().host_of(v),
+                        net_.placement().host_of(u))) {
+    ++stats_.timeouts;
+    ++stats_.aborted_mid_commit;
+    abort_with_reason(u, v, obs::AbortReason::kMessageLost);
+    handle_failure(u, first_hop);
+    schedule_probe(u, st.timer);
+    return;
+  }
+  if (!validate_and_apply(u, first_hop, v, path)) {
+    ++stats_.commit_conflicts;
+    abort_with_reason(u, v, obs::AbortReason::kCommitConflict);
+    handle_failure(u, first_hop);
+    schedule_probe(u, st.timer);
+    return;
+  }
   handle_success(u, first_hop);
   schedule_probe(u, st.timer);
 }
@@ -408,11 +551,14 @@ void PropEngine::node_joined(SlotId s, std::span<const SlotId> new_neighbors) {
   init_node(s);
   schedule_probe(s, rng_.uniform_double(0.0, params_.init_timer_s));
   // Surviving peers learn of a fresh neighbor: front of neighborQ with
-  // maximum priority, and their timer resets so they probe soon.
+  // maximum priority, and their timer resets so they probe soon. A peer
+  // inside a two-phase negotiation window keeps its pending commit — the
+  // pending event belongs to that exchange, not to the probe cycle.
   for (const SlotId nb : new_neighbors) {
     if (!state_[nb].active) continue;
     if (!state_[nb].queue.contains(s)) state_[nb].queue.add_front(s);
     state_[nb].timer = params_.init_timer_s;
+    if (state_[nb].peer != kInvalidSlot) continue;
     reschedule_sooner(nb, rng_.uniform_double(0.0, params_.init_timer_s));
   }
 }
@@ -424,6 +570,16 @@ void PropEngine::node_left(SlotId s,
   if (st.pending != kInvalidEvent) {
     sim_.cancel(st.pending);
     st.pending = kInvalidEvent;
+  }
+  if (st.peer != kInvalidSlot) {
+    // The departed endpoint was inside a two-phase negotiation window:
+    // the exchange aborts cleanly. Nothing was applied at prepare time,
+    // so both neighbor lists stay exactly as they were (PROP-G keeps no
+    // half-moved position either — a swap only lands at commit, after
+    // which SwapLog's transient forwarding covers the stale references).
+    ++stats_.aborted_mid_commit;
+    abort_with_reason(s, st.peer, obs::AbortReason::kPeerCrashed);
+    release_lock(s, st.peer);
   }
   st.active = false;
   for (const SlotId nb : former_neighbors) {

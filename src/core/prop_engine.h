@@ -16,6 +16,7 @@
 #include "core/neighbor_queue.h"
 #include "core/params.h"
 #include "core/swap_log.h"
+#include "faults/fault_plan.h"
 #include "overlay/overlay_network.h"
 #include "sim/simulator.h"
 
@@ -31,6 +32,10 @@ class PropEngine {
     std::uint64_t rejected = 0;       // plans with Var <= MIN_VAR
     std::uint64_t commit_conflicts = 0;  // delayed commits invalidated by
                                          // a concurrent change
+    std::uint64_t timeouts = 0;   // negotiation messages lost to faults
+    std::uint64_t retries = 0;    // prepare retransmissions sent
+    std::uint64_t aborted_mid_commit = 0;  // two-phase exchanges dropped
+                                           // after a successful prepare
     double total_var_gain = 0.0;      // summed Var of committed exchanges
     double last_exchange_time = 0.0;
   };
@@ -72,6 +77,15 @@ class PropEngine {
   /// studies; see core/swap_log.h). Not owned; may be null.
   void set_swap_log(SwapLog* log) { swap_log_ = log; }
 
+  /// Attaches a fault injector (not owned, may be null). With faults
+  /// attached every negotiation runs the hardened two-phase
+  /// prepare/commit path — both endpoints lock for the negotiation
+  /// window, prepare losses time out and retry up to the injector's
+  /// budget, and a crash of either endpoint mid-swap aborts cleanly —
+  /// even when model_message_delays is off. Without an injector the
+  /// engine is byte-for-byte the fault-free protocol.
+  void set_faults(FaultInjector* faults) { faults_ = faults; }
+
   /// One committed exchange, as reported to the observer.
   struct ExchangeEvent {
     double time = 0.0;
@@ -101,6 +115,10 @@ class PropEngine {
     std::size_t trials = 0;
     EventId pending = kInvalidEvent;
     bool active = false;
+    /// Two-phase negotiation lock: the counterpart this node is prepared
+    /// with (kInvalidSlot when idle). Only ever set while a fault
+    /// injector is attached.
+    SlotId peer = kInvalidSlot;
   };
 
   void ensure_state_capacity();
@@ -112,6 +130,18 @@ class PropEngine {
   /// round-trips; updates queue/timer and schedules the next probe.
   void commit_after_delay(SlotId u, SlotId first_hop, SlotId v,
                           std::vector<SlotId> path);
+  /// Hardened two-phase negotiation (faults attached): prepare leg with
+  /// bounded retransmission, endpoint locks, then the delayed commit.
+  void begin_negotiation(SlotId u, SlotId first_hop, SlotId v,
+                         std::vector<SlotId> path, std::size_t retries_used);
+  void finish_two_phase(SlotId u, SlotId first_hop, SlotId v,
+                        std::vector<SlotId> path);
+  /// Re-validates the path, re-plans from fresh state and applies;
+  /// returns false (emitting nothing) when the plan no longer holds.
+  bool validate_and_apply(SlotId u, SlotId first_hop, SlotId v,
+                          const std::vector<SlotId>& path);
+  void abort_with_reason(SlotId u, SlotId v, obs::AbortReason reason);
+  void release_lock(SlotId u, SlotId v);
   /// Simulated duration of one probe negotiation (walk + probe RTTs).
   double negotiation_delay_s(std::span<const SlotId> path) const;
   void handle_success(SlotId u, SlotId first_hop);
@@ -128,6 +158,7 @@ class PropEngine {
   Rng rng_;
   std::vector<NodeState> state_;
   SwapLog* swap_log_ = nullptr;
+  FaultInjector* faults_ = nullptr;
   ExchangeObserver observer_;
   Stats stats_;
   std::size_t effective_m_ = 1;

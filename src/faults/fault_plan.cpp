@@ -1,0 +1,96 @@
+#include "faults/fault_plan.h"
+
+#include <algorithm>
+
+namespace propsim {
+
+FaultInjector::FaultInjector(Simulator& sim, const FaultParams& params,
+                             std::uint64_t seed)
+    : sim_(sim), params_(params), rng_(seed) {
+  PROPSIM_CHECK(params_.message_loss >= 0.0 && params_.message_loss < 1.0);
+  PROPSIM_CHECK(params_.latency_jitter >= 0.0 &&
+                params_.latency_jitter < 1.0);
+  PROPSIM_CHECK(params_.crash_per_negotiation >= 0.0 &&
+                params_.crash_per_negotiation < 1.0);
+  PROPSIM_CHECK(params_.rto_factor > 0.0);
+  for (const PartitionWindow& w : params_.partitions) {
+    PROPSIM_CHECK(w.end_s > w.start_s);
+    PROPSIM_CHECK(w.stub_domain != kPartitionDomainAuto &&
+                  "resolve auto partition domains before construction");
+  }
+}
+
+void FaultInjector::start() {
+  for (const PartitionWindow& w : params_.partitions) {
+    sim_.schedule_at(w.start_s, [this, domain = w.stub_domain] {
+      if (trace_ != nullptr) {
+        trace_->emit(obs::TraceEventKind::kPartitionStart, domain);
+      }
+    });
+    sim_.schedule_at(w.end_s, [this, domain = w.stub_domain] {
+      if (trace_ != nullptr) {
+        trace_->emit(obs::TraceEventKind::kPartitionEnd, domain);
+      }
+    });
+  }
+}
+
+bool FaultInjector::partitioned(NodeId a, NodeId b) const {
+  if (params_.partitions.empty() || host_domain_.empty()) return false;
+  if (a >= host_domain_.size() || b >= host_domain_.size()) return false;
+  const double now = sim_.now();
+  for (const PartitionWindow& w : params_.partitions) {
+    if (now < w.start_s || now >= w.end_s) continue;
+    const bool a_inside = host_domain_[a] == w.stub_domain;
+    const bool b_inside = host_domain_[b] == w.stub_domain;
+    if (a_inside != b_inside) return true;  // crosses the cut gateway
+  }
+  return false;
+}
+
+bool FaultInjector::deliver(NodeId from, NodeId to) {
+  ++stats_.messages;
+  if (partitioned(from, to)) {
+    ++stats_.partition_drops;
+    if (trace_ != nullptr) {
+      trace_->emit(obs::TraceEventKind::kFaultLoss, from, to, 0.0, 2);
+    }
+    return false;
+  }
+  if (params_.message_loss > 0.0 && rng_.bernoulli(params_.message_loss)) {
+    ++stats_.losses;
+    if (trace_ != nullptr) {
+      trace_->emit(obs::TraceEventKind::kFaultLoss, from, to, 0.0, 1);
+    }
+    return false;
+  }
+  return true;
+}
+
+double FaultInjector::jitter(double delay_s) {
+  if (params_.latency_jitter <= 0.0) return delay_s;
+  return delay_s * rng_.uniform_double(1.0, 1.0 + params_.latency_jitter);
+}
+
+std::optional<SlotId> FaultInjector::maybe_schedule_crash(SlotId u, SlotId v,
+                                                          double window_s) {
+  if (params_.crash_per_negotiation <= 0.0 || !crash_executor_) {
+    return std::nullopt;
+  }
+  if (!rng_.bernoulli(params_.crash_per_negotiation)) return std::nullopt;
+  const SlotId victim = rng_.bernoulli(0.5) ? u : v;
+  const SlotId other = victim == u ? v : u;
+  const double offset =
+      rng_.uniform_double(0.0, std::max(window_s, 1e-9));
+  ++stats_.crashes_scheduled;
+  sim_.schedule_in(offset, [this, victim, other] {
+    if (!crash_executor_(victim)) return;
+    ++stats_.crashes_executed;
+    if (trace_ != nullptr) {
+      trace_->emit(obs::TraceEventKind::kFaultCrash, victim, other);
+    }
+  });
+  return victim;
+}
+
+}  // namespace propsim

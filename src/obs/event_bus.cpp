@@ -17,6 +17,11 @@ const char* to_string(TraceEventKind kind) {
     case TraceEventKind::kFail: return "fail";
     case TraceEventKind::kLtmRound: return "ltm-round";
     case TraceEventKind::kLandmarkProbe: return "landmark-probe";
+    case TraceEventKind::kFaultLoss: return "fault-loss";
+    case TraceEventKind::kFaultCrash: return "fault-crash";
+    case TraceEventKind::kPartitionStart: return "partition-start";
+    case TraceEventKind::kPartitionEnd: return "partition-end";
+    case TraceEventKind::kNegotiationTimeout: return "negotiation-timeout";
     case TraceEventKind::kCount: break;
   }
   return "?";

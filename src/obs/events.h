@@ -30,6 +30,17 @@ enum class TraceEventKind : std::uint8_t {
   kLtmRound,         // one LTM detector round at a (detail = links changed)
   kLandmarkProbe,    // PIS landmark latency measurement (a = host,
                      // b = landmark; value = latency ms)
+  kFaultLoss,        // injected message loss (a = from host, b = to host;
+                     // detail = 1 random loss, 2 partition drop)
+  kFaultCrash,       // injected mid-negotiation crash executed
+                     // (a = victim slot, b = negotiation counterpart)
+  kPartitionStart,   // scheduled stub-domain partition opened
+                     // (a = stub domain id)
+  kPartitionEnd,     // scheduled stub-domain partition healed
+                     // (a = stub domain id)
+  kNegotiationTimeout,  // negotiation message lost, initiator timed out
+                        // (a = initiator, b = counterpart;
+                        // detail = retries already used)
   kCount
 };
 
@@ -39,6 +50,10 @@ enum class AbortReason : std::uint64_t {
   kNoPlan = 2,          // no applicable exchange between the endpoints
   kBelowMinVar = 3,     // plan rejected by the MIN_VAR gate
   kCommitConflict = 4,  // delayed commit invalidated by a concurrent change
+  kMessageLost = 5,     // commit leg lost after prepare (fault injection)
+  kNegotiationTimeout = 6,  // prepare retries exhausted (fault injection)
+  kPeerCrashed = 7,     // endpoint crashed inside the two-phase window
+  kPeerBusy = 8,        // counterpart already locked in another exchange
 };
 
 /// The paper's protocol phases: warm-up (nodes still inside their first

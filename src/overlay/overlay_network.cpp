@@ -60,7 +60,8 @@ std::optional<std::vector<SlotId>> OverlayNetwork::random_walk(
 }
 
 std::vector<double> OverlayNetwork::flood_latencies(
-    SlotId source, const std::vector<double>* processing_delay_ms) const {
+    SlotId source, const std::vector<double>* processing_delay_ms,
+    const LinkFilter* link_ok) const {
   constexpr double kInf = std::numeric_limits<double>::infinity();
   std::vector<double> dist(graph_.slot_count(), kInf);
   PROPSIM_CHECK(graph_.is_active(source));
@@ -73,6 +74,7 @@ std::vector<double> OverlayNetwork::flood_latencies(
   while (!queue.empty()) {
     const auto u = static_cast<SlotId>(queue.pop());
     for (const SlotId v : graph_.neighbors(u)) {
+      if (link_ok != nullptr && !(*link_ok)(u, v)) continue;
       double cost = slot_latency(u, v);
       if (processing_delay_ms != nullptr) {
         cost += (*processing_delay_ms)[v];

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <span>
 #include <vector>
@@ -66,10 +67,13 @@ class OverlayNetwork {
   /// receiving slot's processing delay when provided). This is the
   /// first-response latency of an idealized flood, and the routing
   /// latency oracle for unstructured lookups. Inactive/unreachable slots
-  /// get +infinity.
+  /// get +infinity. `link_ok` (optional) prunes logical edges the flood
+  /// may not traverse — e.g. links crossing a partitioned stub-domain
+  /// gateway; slots cut off by the filter come back +infinity too.
+  using LinkFilter = std::function<bool(SlotId from, SlotId to)>;
   std::vector<double> flood_latencies(
-      SlotId source,
-      const std::vector<double>* processing_delay_ms = nullptr) const;
+      SlotId source, const std::vector<double>* processing_delay_ms = nullptr,
+      const LinkFilter* link_ok = nullptr) const;
 
   /// Hop-count BFS distances over logical edges, capped at max_hops
   /// (entries beyond the cap are UINT32_MAX).

@@ -20,31 +20,38 @@ ChurnProcess::ChurnProcess(OverlayNetwork& net, Simulator& sim,
 }
 
 void ChurnProcess::start() {
+  // The first arrival obeys the same end_s clamp as every rescheduled
+  // one; without it a short churn window could fire one stray event
+  // past its end.
   if (params_.join_rate_per_s > 0.0) {
-    sim_.schedule_at(
-        params_.start_s +
-            rng_.exponential(1.0 / params_.join_rate_per_s),
-        [this] {
-          do_join();
-          schedule_join();
-        });
+    const double first =
+        params_.start_s + rng_.exponential(1.0 / params_.join_rate_per_s);
+    if (first <= params_.end_s) {
+      sim_.schedule_at(first, [this] {
+        do_join();
+        schedule_join();
+      });
+    }
   }
   if (params_.leave_rate_per_s > 0.0) {
-    sim_.schedule_at(
-        params_.start_s +
-            rng_.exponential(1.0 / params_.leave_rate_per_s),
-        [this] {
-          do_leave();
-          schedule_leave();
-        });
+    const double first =
+        params_.start_s + rng_.exponential(1.0 / params_.leave_rate_per_s);
+    if (first <= params_.end_s) {
+      sim_.schedule_at(first, [this] {
+        do_leave();
+        schedule_leave();
+      });
+    }
   }
   if (params_.fail_rate_per_s > 0.0) {
-    sim_.schedule_at(
-        params_.start_s + rng_.exponential(1.0 / params_.fail_rate_per_s),
-        [this] {
-          do_fail();
-          schedule_fail();
-        });
+    const double first =
+        params_.start_s + rng_.exponential(1.0 / params_.fail_rate_per_s);
+    if (first <= params_.end_s) {
+      sim_.schedule_at(first, [this] {
+        do_fail();
+        schedule_fail();
+      });
+    }
   }
 }
 
@@ -141,6 +148,14 @@ bool ChurnProcess::do_fail() {
   if (actives.size() <= params_.min_population) return false;
   const SlotId victim =
       actives[static_cast<std::size_t>(rng_.uniform(actives.size()))];
+  return fail_slot(victim);
+}
+
+bool ChurnProcess::fail_slot(SlotId victim) {
+  if (!net_.graph().is_active(victim)) return false;
+  if (net_.graph().active_slots().size() <= params_.min_population) {
+    return false;
+  }
   const auto neigh = net_.graph().neighbors(victim);
   const std::vector<SlotId> former(neigh.begin(), neigh.end());
 
@@ -157,7 +172,9 @@ bool ChurnProcess::do_fail() {
 
   // Survivor repair, as deployed unstructured peers do on keepalive
   // timeout: every orphaned neighbor below the attach floor re-dials a
-  // random peer it is not yet connected to.
+  // random peer it is not yet connected to. Under fault injection each
+  // dial is a real message — a lost one burns an attempt, so repair
+  // slows down with loss and cannot cross an open partition.
   const auto pool = net_.graph().active_slots();
   for (const SlotId orphan : former) {
     std::size_t attempts = 0;
@@ -167,6 +184,11 @@ bool ChurnProcess::do_fail() {
       const SlotId peer =
           pool[static_cast<std::size_t>(rng_.uniform(pool.size()))];
       if (peer == orphan || net_.graph().has_edge(orphan, peer)) continue;
+      if (faults_ != nullptr &&
+          !faults_->deliver(net_.placement().host_of(orphan),
+                            net_.placement().host_of(peer))) {
+        continue;
+      }
       add_repair_edge(orphan, peer);
     }
   }

@@ -11,6 +11,7 @@
 
 #include "common/rng.h"
 #include "core/prop_engine.h"
+#include "faults/fault_plan.h"
 #include "gnutella/gnutella.h"
 #include "overlay/overlay_network.h"
 #include "sim/simulator.h"
@@ -40,8 +41,14 @@ class ChurnProcess {
                const ChurnParams& params, std::vector<NodeId> spares,
                std::uint64_t seed);
 
-  /// Schedules the first join and leave arrivals.
+  /// Schedules the first join and leave arrivals (clamped to end_s like
+  /// every later arrival).
   void start();
+
+  /// Attaches a fault injector (not owned, may be null): survivor
+  /// repair re-dials become real messages that can be lost, so repair
+  /// slows down under loss and stalls across a partition.
+  void set_faults(FaultInjector* faults) { faults_ = faults; }
 
   std::uint64_t joins() const { return joins_; }
   std::uint64_t leaves() const { return leaves_; }
@@ -55,6 +62,10 @@ class ChurnProcess {
   /// neighbors re-dial replacement links (degree floor restored, and
   /// any partition reconnected), mirroring Gnutella's keepalive repair.
   bool do_fail();
+  /// Crashes a specific slot (fault-injection executor): same survivor
+  /// repair as do_fail, but the victim is chosen by the caller. Returns
+  /// false when the slot is inactive or the population floor refuses.
+  bool fail_slot(SlotId victim);
 
  private:
   void schedule_join();
@@ -65,6 +76,7 @@ class ChurnProcess {
   OverlayNetwork& net_;
   Simulator& sim_;
   PropEngine* engine_;
+  FaultInjector* faults_ = nullptr;
   GnutellaConfig overlay_config_;
   ChurnParams params_;
   std::vector<NodeId> spares_;

@@ -334,7 +334,7 @@ TEST(RunExperiment, OracleModesAgree) {
 
 TEST(ExperimentResult, CountersViewIsStable) {
   const auto result = run_experiment(must_parse(small_base("")));
-  EXPECT_EQ(ExperimentResult::kCountersVersion, 2);
+  EXPECT_EQ(ExperimentResult::kCountersVersion, 3);
   const auto counters = result.counters();
   ASSERT_GE(counters.size(), 4u);
   // Spot-check the fixed order and that values mirror the struct.
@@ -342,6 +342,8 @@ TEST(ExperimentResult, CountersViewIsStable) {
   EXPECT_EQ(counters[0].second, result.exchanges);
   bool found_control = false;
   bool found_trace_events = false;
+  bool found_timeouts = false;
+  bool found_fault_losses = false;
   for (const auto& [name, value] : counters) {
     if (name == "control_messages") {
       found_control = true;
@@ -351,9 +353,20 @@ TEST(ExperimentResult, CountersViewIsStable) {
       found_trace_events = true;
       EXPECT_EQ(value, result.trace.events);
     }
+    if (name == "timeouts") {
+      found_timeouts = true;
+      EXPECT_EQ(value, result.timeouts);
+    }
+    if (name == "fault_losses") {
+      found_fault_losses = true;
+      // A fault-free run never records injector activity.
+      EXPECT_EQ(value, 0u);
+    }
   }
   EXPECT_TRUE(found_control);
   EXPECT_TRUE(found_trace_events);
+  EXPECT_TRUE(found_timeouts);
+  EXPECT_TRUE(found_fault_losses);
 }
 
 TEST(ExperimentResult, EventBusCountersMatchEngineStats) {

@@ -304,6 +304,62 @@ TEST(PropEngine, MessageDelaysWorkWithPropGAndChurnHooks) {
   EXPECT_TRUE(fx.net.placement().validate());
 }
 
+TEST(PropEngine, DelayedCommitInvalidatedByDepartureKeepsQueuesClean) {
+  // Deterministic commit-conflict: one negotiation is put in flight,
+  // then churn removes the counterpart before the commit lands. The
+  // exchange must abort as a conflict and every survivor's neighbor
+  // queue must still mirror its graph neighborhood exactly.
+  auto fx = UnstructuredFixture::make(30, 3030);
+  Simulator sim;
+  PropParams params = fast_params(PropMode::kPropO);
+  params.model_message_delays = true;
+  params.init_timer_s = 1e6;  // no autonomous probes interfere
+  PropEngine engine(fx.net, sim, params, 25);
+  engine.start();
+
+  // Drive attempts until one negotiation is actually in flight (walks
+  // can fail or plans can miss MIN_VAR; none commits synchronously when
+  // delays are modeled).
+  const auto slots = fx.net.graph().active_slots();
+  SlotId initiator = kInvalidSlot;
+  for (const SlotId u : slots) {
+    const std::uint64_t before = engine.stats().planned;
+    engine.attempt(u);
+    if (engine.stats().planned > before) {
+      initiator = u;
+      break;
+    }
+  }
+  ASSERT_NE(initiator, kInvalidSlot);
+  ASSERT_EQ(engine.stats().exchanges, 0u);
+
+  // Every potential counterpart departs before the commit round-trip
+  // lands: the pending exchange must resolve as a conflict, never as a
+  // commit, and no survivor may keep a dead neighbor queued.
+  for (const SlotId v : slots) {
+    if (v == initiator || !fx.net.graph().is_active(v)) continue;
+    const auto neigh = fx.net.graph().neighbors(v);
+    const std::vector<SlotId> former(neigh.begin(), neigh.end());
+    fx.net.graph().deactivate_slot(v);
+    engine.node_left(v, former);
+  }
+  sim.run_until(1e7);
+
+  EXPECT_EQ(engine.stats().exchanges, 0u);
+  EXPECT_GT(engine.stats().commit_conflicts, 0u);
+  // Queue integrity: every active slot's queue holds exactly its active
+  // graph neighbors — no stale entries from the aborted exchange, no
+  // missing ones.
+  for (const SlotId s : fx.net.graph().active_slots()) {
+    const auto neigh = fx.net.graph().neighbors(s);
+    EXPECT_EQ(engine.queue_of(s).size(), neigh.size());
+    for (const SlotId v : neigh) {
+      EXPECT_TRUE(engine.queue_of(s).contains(v))
+          << "slot " << s << " queue lost neighbor " << v;
+    }
+  }
+}
+
 TEST(PropEngine, DeterministicForSeed) {
   auto run_once = [](std::uint64_t seed) {
     auto fx = UnstructuredFixture::make(40, 3013);

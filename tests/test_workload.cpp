@@ -309,6 +309,25 @@ TEST(Churn, FailureNotifiesEngine) {
   EXPECT_TRUE(fx.net.graph().active_subgraph_connected());
 }
 
+TEST(Churn, FirstEventRespectsEndTime) {
+  // A tiny rate draws a first arrival far beyond the churn window;
+  // start() must not schedule it at all (the old behavior fired one
+  // event past end_s, perturbing post-window runs).
+  auto fx = UnstructuredFixture::make(40, 6020);
+  Simulator sim;
+  GnutellaConfig gcfg;
+  ChurnParams params;
+  params.join_rate_per_s = 0.0005;  // mean inter-arrival 2000 s
+  params.leave_rate_per_s = 0.0005;
+  params.fail_rate_per_s = 0.0005;
+  params.start_s = 0.0;
+  params.end_s = 5.0;
+  ChurnProcess churn(fx.net, sim, nullptr, gcfg, params, {}, 6021);
+  churn.start();
+  sim.run_until(20000.0);
+  EXPECT_EQ(churn.joins() + churn.leaves() + churn.failures(), 0u);
+}
+
 TEST(Churn, ScheduledFailuresInterleave) {
   auto fx = UnstructuredFixture::make(60, 6014);
   Simulator sim;

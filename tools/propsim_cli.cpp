@@ -46,7 +46,11 @@ void usage(const char* argv0) {
       "  churn_start (0) churn_end (horizon)\n"
       "  oracle auto|hierarchical|dijkstra (auto)\n"
       "  oracle_cache_rows (1024)\n"
-      "  trace (off)  trace_buffer (8192 events)\n",
+      "  trace (off)  trace_buffer (8192 events)\n"
+      "  fault_loss / fault_jitter / fault_crash (0)\n"
+      "  fault_max_retries (2)\n"
+      "  fault_partition_domain <id>|auto  with\n"
+      "  fault_partition_start / fault_partition_end (seconds)\n",
       argv0);
 }
 
@@ -151,6 +155,19 @@ int main(int argc, char** argv) {
   if (result.commit_conflicts > 0) {
     std::printf("  commit conflicts: %llu\n",
                 static_cast<unsigned long long>(result.commit_conflicts));
+  }
+  if (result.fault_messages > 0) {
+    std::printf("  faults: %llu/%llu messages lost (%llu at partitions), "
+                "%llu crashes, %llu timeouts, %llu retries, "
+                "%llu aborted mid-commit\n",
+                static_cast<unsigned long long>(result.fault_losses +
+                                                result.fault_partition_drops),
+                static_cast<unsigned long long>(result.fault_messages),
+                static_cast<unsigned long long>(result.fault_partition_drops),
+                static_cast<unsigned long long>(result.fault_crashes),
+                static_cast<unsigned long long>(result.timeouts),
+                static_cast<unsigned long long>(result.retries),
+                static_cast<unsigned long long>(result.aborted_mid_commit));
   }
   if (result.trace.events > 0) {
     std::printf("  trace: %llu events (%llu warm-up / %llu maintenance)\n",
