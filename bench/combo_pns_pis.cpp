@@ -15,6 +15,7 @@
 #include "tapestry/tapestry.h"
 #include "common/table.h"
 #include "core/prop_engine.h"
+#include "measure/measure_engine.h"
 #include "sim/simulator.h"
 #include "workload/host_selection.h"
 
@@ -35,6 +36,9 @@ int run(const BenchOptions& opts) {
 
   const std::size_t n = opts.scale_n(1000);
   const double horizon = opts.scale_t(3600.0);
+  // Stretch sweeps run on the parallel measurement engine; results are
+  // bit-identical to the serial path for any worker count.
+  MeasureEngine measure(MeasureEngine::kAutoThreads);
   std::vector<Row> rows;
 
   for (const std::string& variant :
@@ -68,14 +72,14 @@ int run(const BenchOptions& opts) {
 
     Row row;
     row.label = variant;
-    row.before = stretch(net, queries, router).stretch;
+    row.before = measure.stretch(net, queries, router).stretch;
 
     Simulator sim;
     PropEngine engine(net, sim, paper_prop_params(PropMode::kPropG),
                       opts.seed + 23);
     engine.start();
     sim.run_until(horizon);
-    row.after = stretch(net, queries, router).stretch;
+    row.after = measure.stretch(net, queries, router).stretch;
     std::printf("  [%s] exchanges=%llu stretch %.3f -> %.3f\n",
                 variant.c_str(),
                 static_cast<unsigned long long>(engine.stats().exchanges),
@@ -104,12 +108,12 @@ int run(const BenchOptions& opts) {
                             mesh.lookup_path(qp.src, mesh.id_of(qp.dst)));
       };
       row.label = "Tapestry-prox";
-      row.before = stretch(net, queries, router).stretch;
+      row.before = measure.stretch(net, queries, router).stretch;
       PropEngine engine(net, sim, paper_prop_params(PropMode::kPropG),
                         opts.seed + 23);
       engine.start();
       sim.run_until(horizon);
-      after = stretch(net, queries, router).stretch;
+      after = measure.stretch(net, queries, router).stretch;
     } else {
       PastryConfig pcfg;
       auto mesh = PastryNetwork::build_random(n, pcfg, rng);
@@ -123,12 +127,12 @@ int run(const BenchOptions& opts) {
                             mesh.lookup_path(qp.src, mesh.id_of(qp.dst)));
       };
       row.label = "Pastry-prox";
-      row.before = stretch(net, queries, router).stretch;
+      row.before = measure.stretch(net, queries, router).stretch;
       PropEngine engine(net, sim, paper_prop_params(PropMode::kPropG),
                         opts.seed + 23);
       engine.start();
       sim.run_until(horizon);
-      after = stretch(net, queries, router).stretch;
+      after = measure.stretch(net, queries, router).stretch;
     }
     row.after = after;
     std::printf("  [%s] stretch %.3f -> %.3f\n", row.label.c_str(),
@@ -159,13 +163,13 @@ int run(const BenchOptions& opts) {
     };
     Row row;
     row.label = topo_aware ? "CAN-topo" : "CAN-plain";
-    row.before = stretch(net, queries, router).stretch;
+    row.before = measure.stretch(net, queries, router).stretch;
     Simulator sim;
     PropEngine engine(net, sim, paper_prop_params(PropMode::kPropG),
                       opts.seed + 23);
     engine.start();
     sim.run_until(horizon);
-    row.after = stretch(net, queries, router).stretch;
+    row.after = measure.stretch(net, queries, router).stretch;
     std::printf("  [%s] exchanges=%llu stretch %.3f -> %.3f\n",
                 row.label.c_str(),
                 static_cast<unsigned long long>(engine.stats().exchanges),

@@ -17,6 +17,7 @@
 #include "bench_util.h"
 #include "common/table.h"
 #include "core/prop_engine.h"
+#include "measure/measure_engine.h"
 #include "sim/simulator.h"
 #include "workload/heterogeneity.h"
 #include "workload/lookups.h"
@@ -83,6 +84,9 @@ int run(const BenchOptions& opts) {
 
   // Build the base world once per policy run for identical starting
   // conditions; heterogeneity is tied to the *initial* hub structure.
+  // Measurement sweeps run on the parallel engine (bit-identical to the
+  // serial path for any worker count, so the figure is unchanged).
+  MeasureEngine measure(MeasureEngine::kAutoThreads);
   std::vector<std::vector<double>> normalized(policies.size());
   for (std::size_t pi = 0; pi < policies.size(); ++pi) {
     Rng rng(opts.seed);
@@ -99,11 +103,11 @@ int run(const BenchOptions& opts) {
     {
       const auto fast = delays.slot_fast(net);
       const auto proc = delays.slot_delays(net);
+      const OverlaySnapshot snap = OverlaySnapshot::capture(net);
       for (const double f : fractions) {
         Rng qrng(opts.seed + static_cast<std::uint64_t>(f * 100));
         const auto queries = biased_queries(net.graph(), fast, f, q, qrng);
-        base.push_back(
-            average_unstructured_lookup_latency(net, queries, &proc));
+        base.push_back(measure.average_lookup_latency(snap, queries, &proc));
       }
     }
 
@@ -112,12 +116,12 @@ int run(const BenchOptions& opts) {
     // Re-materialize: PROP-G moved hosts across slots.
     const auto fast = delays.slot_fast(net);
     const auto proc = delays.slot_delays(net);
+    const OverlaySnapshot snap = OverlaySnapshot::capture(net);
     for (std::size_t fi = 0; fi < fractions.size(); ++fi) {
       Rng qrng(opts.seed + static_cast<std::uint64_t>(fractions[fi] * 100));
       const auto queries =
           biased_queries(net.graph(), fast, fractions[fi], q, qrng);
-      const double lat =
-          average_unstructured_lookup_latency(net, queries, &proc);
+      const double lat = measure.average_lookup_latency(snap, queries, &proc);
       normalized[pi].push_back(lat / base[fi]);
     }
     std::printf("  [%s] done\n", policies[pi].label.c_str());

@@ -1,18 +1,27 @@
-// perf_scaling — oracle performance scaling bench (not a paper figure).
+// perf_scaling — oracle + measurement-engine scaling bench (not a
+// paper figure).
 //
-// Measures the hierarchical transit-stub latency oracle against the
-// Dijkstra-row fallback across physical network sizes n in {~1k, ~10k,
-// ~50k}: construction wall-clock, point-query throughput, resident
-// memory, and an end-to-end PROP-G Gnutella run at the 10k scale with
-// both engines. Results go to stdout and to BENCH_oracle.json (stable
-// schema `propsim.bench.oracle`, version 1) for CI artifact upload.
+// Part one measures the hierarchical transit-stub latency oracle
+// against the Dijkstra-row fallback across physical network sizes n in
+// {~1k, ~10k, ~50k}: construction wall-clock, point-query throughput,
+// resident memory, and an end-to-end PROP-G Gnutella run at the 10k
+// scale with both engines. Results go to stdout and to
+// BENCH_oracle.json (stable schema `propsim.bench.oracle`, version 1).
+//
+// Part two measures the parallel measurement engine on the
+// convergence-snapshot workload (capture an OverlaySnapshot, evaluate
+// the batched lookup + direct metrics over a fixed query set, repeat
+// per snapshot tick) at overlay sizes ~1k/10k/50k across 1/2/4/8
+// worker threads, asserting the sampled series are bit-identical for
+// every thread count. Results go to BENCH_measure.json (stable schema
+// `propsim.bench.measure`, version 1). The >= 2.5x speedup-at-4-threads
+// gate at the 10k scale is checked only when the host exposes >= 4
+// hardware threads (CI runners do; a 1-core dev box runs it
+// informationally).
 //
 // `--quick` shrinks query counts and skips the 50k scale so the bench
-// fits in CI time; `--part 1k|10k|50k` runs a single scale. Exit code
-// is 0 only when the generous 10k-scale ceilings hold (the CI perf
-// smoke gate): hierarchical build time, >= 5x query throughput over the
-// fallback, bit-exact spot-check vs full-graph Dijkstra, and bounded
-// peak RSS.
+// fits in CI time; `--part 1k|10k|50k` runs a single scale of both
+// parts. Exit code is 0 only when the exercised gates hold.
 #include <sys/resource.h>
 #include <unistd.h>
 
@@ -21,11 +30,13 @@
 #include <cmath>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
 #include "common/json.h"
 #include "core/prop_engine.h"
+#include "measure/measure_engine.h"
 #include "metrics/convergence.h"
 #include "metrics/metrics.h"
 #include "sim/simulator.h"
@@ -168,6 +179,227 @@ EndToEnd run_prop_g(const TransitStubTopology& topo,
   e.improvement = series.first_value() / series.last_value();
   e.exchanges = engine.stats().exchanges;
   return e;
+}
+
+// ---------------------------------------------------------------------
+// Part two: measurement-engine scaling.
+
+struct MeasureScale {
+  std::string name;             // shares the --part selector namespace
+  std::size_t transit_domains;  // sized so overlay_n stub hosts exist
+  std::size_t overlay_n;
+};
+
+struct SweepTiming {
+  double wall_ms = 0.0;
+  std::vector<double> lookup_series;  // one lookup_ms sample per tick
+  std::vector<double> direct_series;
+};
+
+/// Times the convergence-snapshot workload at one thread count: a
+/// batched ConvergenceSampler whose prepare hook captures a fresh
+/// OverlaySnapshot each tick and whose two metrics (flood lookup
+/// latency + direct latency over a fixed query set) run on one
+/// MeasureEngine. Pool spawn is excluded from the timed region.
+SweepTiming time_sweeps(std::size_t threads, const OverlayNetwork& net,
+                        std::span<const QueryPair> queries,
+                        std::size_t snapshots) {
+  MeasureEngine engine(threads);
+  Simulator sim;
+  OverlaySnapshot snap;
+  std::vector<ConvergenceSampler::NamedMetric> metrics;
+  metrics.push_back({"lookup_ms", [&] {
+                       return engine.average_lookup_latency(snap, queries);
+                     }});
+  metrics.push_back({"direct_ms", [&] {
+                       return engine.average_direct_latency(net, queries);
+                     }});
+  const double interval_s = 60.0;
+  const double end_s = interval_s * static_cast<double>(snapshots - 1);
+  SweepTiming t;
+  const double start = now_ms();
+  ConvergenceSampler sampler(
+      sim, 0.0, end_s, interval_s,
+      [&] { snap = OverlaySnapshot::capture(net); }, std::move(metrics));
+  sim.run_until(end_s);
+  t.wall_ms = now_ms() - start;
+  for (const auto& p : sampler.series(0).points()) {
+    t.lookup_series.push_back(p.value);
+  }
+  for (const auto& p : sampler.series(1).points()) {
+    t.direct_series.push_back(p.value);
+  }
+  return t;
+}
+
+/// Pre-engine cost reference: the old serial metric path — one
+/// allocating flood_latencies per distinct query source, straight off
+/// the live overlay, no snapshot capture and no scratch reuse.
+double legacy_serial_ms(const OverlayNetwork& net,
+                        std::span<const QueryPair> queries,
+                        std::size_t snapshots) {
+  std::vector<std::size_t> order(queries.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return queries[a].src < queries[b].src;
+                   });
+  double checksum = 0.0;
+  const double start = now_ms();
+  for (std::size_t s = 0; s < snapshots; ++s) {
+    bool have = false;
+    SlotId current = 0;
+    std::vector<double> dist;
+    for (const std::size_t idx : order) {
+      const QueryPair& q = queries[idx];
+      if (!have || q.src != current) {
+        have = true;
+        current = q.src;
+        dist = net.flood_latencies(current);
+      }
+      checksum += dist[q.dst];
+    }
+  }
+  const double wall = now_ms() - start;
+  std::printf("  legacy serial reference: %.0f ms (checksum %.6g)\n", wall,
+              checksum);
+  return wall;
+}
+
+/// Part two driver: runs the thread matrix per scale, asserts the
+/// sampled series are bit-identical across thread counts, and writes
+/// BENCH_measure.json. The speedup gate needs real cores, so it is
+/// exercised only when the host exposes >= 4 hardware threads; the
+/// determinism check always counts toward `pass`.
+bool run_measure(const BenchOptions& opts, bool* out_pass,
+                 bool* out_gate_checked) {
+  std::printf("\nmeasurement-engine scaling (convergence-snapshot "
+              "workload)\n");
+
+  std::vector<MeasureScale> scales{{"1k", 3, 1000}, {"10k", 21, 10000}};
+  if (!opts.quick) scales.push_back({"50k", 105, 50000});
+  if (!opts.part.empty()) {
+    std::erase_if(scales,
+                  [&](const MeasureScale& s) { return s.name != opts.part; });
+  }
+
+  const std::size_t cores = std::thread::hardware_concurrency();
+  constexpr double kMinSpeedup4t = 2.5;
+  const std::size_t thread_counts[] = {1, 2, 4, 8};
+
+  bool pass = true;
+  bool gate_checked = false;
+
+  Json doc = Json::object();
+  doc.set("schema", "propsim.bench.measure");
+  doc.set("version", 1);
+  doc.set("quick", opts.quick);
+  doc.set("seed", opts.seed);
+  doc.set("cores", static_cast<std::uint64_t>(cores));
+  doc.set("min_speedup_4t", kMinSpeedup4t);
+  Json rows = Json::array();
+
+  for (const MeasureScale& scale : scales) {
+    TransitStubConfig config = TransitStubConfig::ts_large();
+    config.transit_domains = scale.transit_domains;
+    std::printf("scale %s: overlay n=%zu over %zu physical nodes\n",
+                scale.name.c_str(), scale.overlay_n, config.total_nodes());
+
+    Rng rng(opts.seed + 101);
+    const TransitStubTopology topo = make_transit_stub(config, rng);
+    const LatencyOracle oracle(topo);
+    const auto hosts = select_stub_hosts(topo, scale.overlay_n, rng);
+    GnutellaConfig gcfg;
+    OverlayNetwork net = build_gnutella_overlay(gcfg, hosts, oracle, rng);
+
+    const std::size_t query_count =
+        opts.quick ? (scale.overlay_n >= 10000 ? 1000 : 500)
+                   : (scale.overlay_n >= 50000 ? 5000 : 10000);
+    const std::size_t snapshots =
+        opts.quick ? 2 : (scale.overlay_n >= 50000 ? 2 : 4);
+    Rng qrng(opts.seed ^ 0xd1b54a32d192ed03ULL);
+    const auto queries = uniform_queries(net.graph(), query_count, qrng);
+
+    const double legacy_ms = legacy_serial_ms(net, queries, snapshots);
+
+    Json trow_list = Json::array();
+    SweepTiming serial;
+    double serial_ms = 0.0;
+    double speedup_4t = 0.0;
+    bool identical = true;
+    for (const std::size_t threads : thread_counts) {
+      const SweepTiming t = time_sweeps(threads, net, queries, snapshots);
+      if (threads == 1) {
+        serial = t;
+        serial_ms = t.wall_ms;
+      } else {
+        identical = identical && t.lookup_series == serial.lookup_series &&
+                    t.direct_series == serial.direct_series;
+      }
+      const double speedup = t.wall_ms > 0.0 ? serial_ms / t.wall_ms : 0.0;
+      if (threads == 4) speedup_4t = speedup;
+      const double sweeps_per_s =
+          t.wall_ms > 0.0
+              ? 1000.0 * static_cast<double>(snapshots) / t.wall_ms
+              : 0.0;
+      std::printf("  threads %zu: %.0f ms (%.2f sweeps/s, %.2fx vs "
+                  "serial)\n",
+                  threads, t.wall_ms, sweeps_per_s, speedup);
+      Json trow = Json::object();
+      trow.set("threads", static_cast<std::uint64_t>(threads))
+          .set("wall_ms", t.wall_ms)
+          .set("sweeps_per_s", sweeps_per_s)
+          .set("speedup_vs_serial", speedup);
+      trow_list.push_back(std::move(trow));
+    }
+    if (!identical) {
+      std::printf("  DETERMINISM VIOLATION: parallel series differ from "
+                  "serial\n");
+    }
+    pass = pass && identical;
+
+    Json row = Json::object();
+    row.set("scale", scale.name)
+        .set("physical_nodes",
+             static_cast<std::uint64_t>(config.total_nodes()))
+        .set("overlay_n", static_cast<std::uint64_t>(scale.overlay_n))
+        .set("queries", static_cast<std::uint64_t>(query_count))
+        .set("snapshots", static_cast<std::uint64_t>(snapshots))
+        .set("legacy_serial_ms", legacy_ms)
+        .set("engine_serial_ms", serial_ms)
+        .set("threads", std::move(trow_list))
+        .set("identical", identical);
+
+    if (scale.name == "10k" && cores >= 4) {
+      gate_checked = true;
+      row.set("gate_speedup_4t", speedup_4t);
+      if (speedup_4t < kMinSpeedup4t) {
+        std::printf("  10k measure gate FAILED: %.2fx < %.2fx at 4 "
+                    "threads\n",
+                    speedup_4t, kMinSpeedup4t);
+        pass = false;
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+
+  doc.set("scales", std::move(rows));
+  doc.set("gate_checked", gate_checked);
+  doc.set("pass", pass);
+
+  const std::string out = doc.dump(2);
+  if (std::FILE* f = std::fopen("BENCH_measure.json", "w")) {
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote BENCH_measure.json (cores %zu)\n", cores);
+  } else {
+    std::fprintf(stderr, "could not write BENCH_measure.json\n");
+    return false;
+  }
+  *out_pass = pass;
+  *out_gate_checked = gate_checked;
+  return true;
 }
 
 int run(const BenchOptions& opts) {
@@ -326,10 +558,19 @@ int run(const BenchOptions& opts) {
     return 2;
   }
 
-  print_verdict(pass, gate_checked
-                          ? "10k-scale ceilings " +
-                                std::string(pass ? "hold" : "violated")
-                          : "informational run (10k gate not exercised)");
+  bool measure_pass = true;
+  bool measure_gate_checked = false;
+  if (!run_measure(opts, &measure_pass, &measure_gate_checked)) return 2;
+  pass = pass && measure_pass;
+
+  const bool any_gate = gate_checked || measure_gate_checked;
+  print_verdict(pass,
+                pass ? (any_gate ? "exercised 10k gates hold; parallel "
+                                   "measurement bit-identical"
+                                 : "informational run (10k gates not "
+                                   "exercised); parallel measurement "
+                                   "bit-identical")
+                     : "a 10k gate or the determinism check failed");
   return pass ? 0 : 1;
 }
 

@@ -9,6 +9,7 @@
 #include "chord/chord_ring.h"
 #include "core/prop_engine.h"
 #include "gnutella/gnutella.h"
+#include "measure/measure_engine.h"
 #include "metrics/convergence.h"
 #include "metrics/metrics.h"
 #include "pastry/pastry.h"
@@ -35,7 +36,8 @@ constexpr const char* kKnownKeys[] = {
     "fast_fraction",   "fast_delay_ms",     "slow_delay_ms",
     "fraction_fast_dest", "churn_join_rate", "churn_leave_rate",
     "churn_fail_rate", "churn_start",       "churn_end",
-    "oracle",          "oracle_cache_rows", "trace",
+    "oracle",          "oracle_cache_rows", "measure_threads",
+    "trace",
     "trace_buffer",    "fault_loss",        "fault_jitter",
     "fault_crash",     "fault_max_retries", "fault_partition_domain",
     "fault_partition_start", "fault_partition_end",
@@ -336,6 +338,21 @@ SpecResult ExperimentSpec::from_config(const Config& config) {
     p.error("oracle",
             "hierarchical oracle requires a transit-stub topology",
             "use topology = ts-large | ts-small, or oracle = dijkstra");
+  }
+
+  if (config.has("measure_threads")) {
+    const std::string mt = config.get_string("measure_threads", "");
+    if (mt == "auto") {
+      spec.measure_threads = kMeasureThreadsAuto;
+    } else {
+      const std::int64_t v = p.get_int("measure_threads", 1);
+      if (v < 0) {
+        p.error("measure_threads", "must be >= 0 or 'auto'",
+                "0 and 1 both mean serial");
+      } else {
+        spec.measure_threads = static_cast<std::size_t>(v);
+      }
+    }
   }
 
   spec.trace_path = config.get_string("trace", "");
@@ -670,8 +687,30 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   std::vector<QueryPair> queries;
   if (!membership_changes) queries = make_queries();
 
+  // Under a fault plan, measurement and floods honor partition windows:
+  // links whose hosts sit on opposite sides of a cut gateway are pruned.
+  // Random per-message loss is deliberately not applied to floods —
+  // flooding is redundant enough that independent edge loss rarely
+  // changes the first response, and modeling it would burn RNG per edge
+  // per lookup.
+  OverlayNetwork::LinkFilter flood_filter;
+  if (faults) {
+    flood_filter = [n = net.get(), f = faults.get()](SlotId a, SlotId b) {
+      return !f->partitioned(n->placement().host_of(a),
+                             n->placement().host_of(b));
+    };
+  }
+
+  // Measurement engine for the metric sweeps. measure_threads is a pure
+  // execution knob: results are bit-identical to the serial path for
+  // any value (golden-tested), which is why it is not echoed into the
+  // result JSON.
+  MeasureEngine measure(spec.measure_threads);
+
   // Metric closure. The slot-delay view is re-materialized per sample
-  // because PROP-G moves hosts and churn rebinds slots.
+  // because PROP-G moves hosts and churn rebinds slots; each sample
+  // captures one immutable snapshot, so worker threads never touch live
+  // sim state and the partition filter is baked into the adjacency.
   ExperimentResult result;
   const bool structured = spec.overlay != ExperimentSpec::Overlay::kGnutella;
   result.metric_name = structured ? "stretch" : "lookup_ms";
@@ -684,34 +723,41 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
       proc_ptr = &proc;
     }
     switch (spec.overlay) {
-      case ExperimentSpec::Overlay::kGnutella:
-        return average_unstructured_lookup_latency(*net, queries, proc_ptr);
+      case ExperimentSpec::Overlay::kGnutella: {
+        const OverlaySnapshot snap = OverlaySnapshot::capture(
+            *net, flood_filter ? &flood_filter : nullptr);
+        return measure.average_lookup_latency(snap, queries, proc_ptr);
+      }
       case ExperimentSpec::Overlay::kChord:
-        return stretch(*net, queries, chord_router(*net, *chord, proc_ptr))
+        return measure
+            .stretch(*net, queries, chord_router(*net, *chord, proc_ptr))
             .stretch;
       case ExperimentSpec::Overlay::kPastry:
-        return stretch(*net, queries,
-                       [&](const QueryPair& q) {
-                         const auto path = pastry->lookup_path(
-                             q.src, pastry->id_of(q.dst));
-                         return path_latency(*net, path, proc_ptr);
-                       })
+        return measure
+            .stretch(*net, queries,
+                     [&](const QueryPair& q) {
+                       const auto path = pastry->lookup_path(
+                           q.src, pastry->id_of(q.dst));
+                       return path_latency(*net, path, proc_ptr);
+                     })
             .stretch;
       case ExperimentSpec::Overlay::kTapestry:
-        return stretch(*net, queries,
-                       [&](const QueryPair& q) {
-                         const auto path = tapestry->lookup_path(
-                             q.src, tapestry->id_of(q.dst));
-                         return path_latency(*net, path, proc_ptr);
-                       })
+        return measure
+            .stretch(*net, queries,
+                     [&](const QueryPair& q) {
+                       const auto path = tapestry->lookup_path(
+                           q.src, tapestry->id_of(q.dst));
+                       return path_latency(*net, path, proc_ptr);
+                     })
             .stretch;
       case ExperimentSpec::Overlay::kCan: {
-        return stretch(*net, queries,
-                       [&](const QueryPair& q) {
-                         const auto path = can->route_path(
-                             q.src, can->zone(q.dst).center());
-                         return path_latency(*net, path, proc_ptr);
-                       })
+        return measure
+            .stretch(*net, queries,
+                     [&](const QueryPair& q) {
+                       const auto path = can->route_path(
+                           q.src, can->zone(q.dst).center());
+                       return path_latency(*net, path, proc_ptr);
+                     })
             .stretch;
       }
     }
@@ -752,18 +798,6 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   }
 
   // Optional event-driven lookup traffic experiencing the live overlay.
-  // Under a fault plan, floods honor partition windows: links whose
-  // hosts sit on opposite sides of a cut gateway are pruned. Random
-  // per-message loss is deliberately not applied to floods — flooding is
-  // redundant enough that independent edge loss rarely changes the first
-  // response, and modeling it would burn RNG per edge per lookup.
-  OverlayNetwork::LinkFilter flood_filter;
-  if (faults) {
-    flood_filter = [n = net.get(), f = faults.get()](SlotId a, SlotId b) {
-      return !f->partitioned(n->placement().host_of(a),
-                             n->placement().host_of(b));
-    };
-  }
   std::unique_ptr<LookupTrafficProcess> traffic;
   if (spec.lookup_rate_per_s > 0.0) {
     LookupTrafficParams tparams;
@@ -771,7 +805,10 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
     tparams.start_s = 0.0;
     tparams.end_s = spec.horizon_s;
     tparams.window_s = spec.sample_interval_s;
-    auto resolve = [&, spec](const QueryPair& q) -> double {
+    // Flood scratch shared across lookup events (one resolve at a time
+    // on the sim thread); shared_ptr keeps it alive inside the closure.
+    auto flood_scratch = std::make_shared<OverlayNetwork::FloodScratch>();
+    auto resolve = [&, spec, flood_scratch](const QueryPair& q) -> double {
       std::vector<double> proc;
       const std::vector<double>* proc_ptr = nullptr;
       if (delays) {
@@ -792,8 +829,9 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
       };
       switch (spec.overlay) {
         case ExperimentSpec::Overlay::kGnutella:
-          return net->flood_latencies(
-              q.src, proc_ptr, flood_filter ? &flood_filter : nullptr)[q.dst];
+          return net->flood_latencies_into(
+              *flood_scratch, q.src, proc_ptr,
+              flood_filter ? &flood_filter : nullptr)[q.dst];
         case ExperimentSpec::Overlay::kChord:
           return routed(chord->lookup_path(q.src, chord->id_of(q.dst)));
         case ExperimentSpec::Overlay::kPastry:

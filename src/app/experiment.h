@@ -26,6 +26,9 @@
 //   churn_start, churn_end = <seconds>
 //   oracle     = auto | hierarchical | dijkstra       (default auto)
 //   oracle_cache_rows = <int>                         (default 1024)
+//   measure_threads = auto | <int>   (metric-sweep worker threads;
+//                          0/1 = serial, results bit-identical for any
+//                          value)
 //   trace      = <path>   (stream propsim.trace v1 JSONL; requires a
 //                          PROPSIM_TRACE=ON build)
 //   trace_buffer = <int>  (sink ring-buffer capacity, default 8192)
@@ -101,6 +104,16 @@ struct ExperimentSpec {
   OracleMode oracle_mode = OracleMode::kAuto;
   /// LRU bound on resident Dijkstra rows (0 = unbounded).
   std::size_t oracle_cache_rows = 1024;
+
+  /// Worker threads for metric-snapshot evaluation (the measurement
+  /// engine): 0 or 1 = serial, kMeasureThreadsAuto = one per hardware
+  /// thread. A pure execution knob: results are bit-identical for any
+  /// value (and it is therefore not echoed into the result JSON).
+  /// Defaults to serial so nested parallelism (propsim_sweep fans whole
+  /// runs over a pool already) stays opt-in.
+  static constexpr std::size_t kMeasureThreadsAuto =
+      static_cast<std::size_t>(-1);
+  std::size_t measure_threads = 1;
 
   /// When non-empty, the run streams every trace event to this path as
   /// `propsim.trace` v1 JSONL (requires a PROPSIM_TRACE=ON build; the

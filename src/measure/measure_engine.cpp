@@ -1,0 +1,215 @@
+#include "measure/measure_engine.h"
+
+#include <algorithm>
+#include <future>
+#include <limits>
+#include <numeric>
+#include <thread>
+
+namespace propsim {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+void MeasureScratch::begin(std::size_t n) {
+  if (stamp.size() != n) {
+    dist.assign(n, 0.0);
+    stamp.assign(n, 0);
+    epoch = 0;
+    queue = IndexedPriorityQueue<double>(n);
+  }
+  if (++epoch == 0) {  // wrapped: every stale stamp would look current
+    std::fill(stamp.begin(), stamp.end(), 0u);
+    epoch = 1;
+  }
+}
+
+double MeasureScratch::distance(SlotId v) const {
+  PROPSIM_DCHECK(v < stamp.size());
+  return stamp[v] == epoch ? dist[v] : kInf;
+}
+
+void flood_snapshot(const OverlaySnapshot& snap, SlotId source,
+                    const std::vector<double>* processing_delay_ms,
+                    MeasureScratch& scratch) {
+  PROPSIM_CHECK(snap.is_active(source));
+  if (processing_delay_ms != nullptr) {
+    PROPSIM_CHECK(processing_delay_ms->size() == snap.slot_count());
+  }
+  scratch.begin(snap.slot_count());
+  const std::uint32_t epoch = scratch.epoch;
+  auto& dist = scratch.dist;
+  auto& stamp = scratch.stamp;
+  auto& queue = scratch.queue;  // empty: the previous run popped it dry
+  dist[source] = 0.0;
+  stamp[source] = epoch;
+  queue.push_or_update(source, 0.0);
+  while (!queue.empty()) {
+    const auto u = static_cast<SlotId>(queue.pop());
+    const auto targets = snap.targets(u);
+    const auto lats = snap.latencies(u);
+    for (std::size_t e = 0; e < targets.size(); ++e) {
+      const SlotId v = targets[e];
+      // Same arithmetic, same order, same values as the live flood:
+      // lats[e] is the identical slot_latency(u, v) double, precomputed
+      // at capture time.
+      double cost = lats[e];
+      if (processing_delay_ms != nullptr) {
+        cost += (*processing_delay_ms)[v];
+      }
+      const double candidate = dist[u] + cost;
+      if (stamp[v] != epoch || candidate < dist[v]) {
+        dist[v] = candidate;
+        stamp[v] = epoch;
+        queue.push_or_update(v, candidate);
+      }
+    }
+  }
+}
+
+MeasureEngine::MeasureEngine(std::size_t threads) {
+  if (threads == kAutoThreads) {
+    threads = std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+  }
+  threads_ = std::max<std::size_t>(threads, 1);
+  if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_);
+  scratch_.reserve(threads_);
+  for (std::size_t i = 0; i < threads_; ++i) {
+    scratch_.push_back(std::make_unique<MeasureScratch>());
+  }
+}
+
+void MeasureEngine::for_chunks(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  if (count == 0) return;
+  const std::size_t chunks = std::min(threads_, count);
+  auto bounds = [&](std::size_t c) {
+    return std::pair{c * count / chunks, (c + 1) * count / chunks};
+  };
+  if (pool_ == nullptr || chunks == 1) {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const auto [begin, end] = bounds(c);
+      body(c, begin, end);
+    }
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const auto [begin, end] = bounds(c);
+    futures.push_back(pool_->submit([&body, c, begin, end] {
+      body(c, begin, end);
+    }));
+  }
+  for (auto& f : futures) f.get();  // rethrows the first worker failure
+}
+
+std::vector<double> MeasureEngine::lookup_latencies(
+    const OverlaySnapshot& snap, std::span<const QueryPair> queries,
+    const std::vector<double>* processing_delay_ms) {
+  // One Dijkstra per distinct source: order query indices by source,
+  // then chunk the contiguous same-source runs across the workers. Each
+  // worker writes only out[idx] for its own runs' indices.
+  std::vector<std::size_t> order(queries.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (queries[a].src != queries[b].src) {
+      return queries[a].src < queries[b].src;
+    }
+    return a < b;
+  });
+  struct Run {
+    std::size_t begin;
+    std::size_t end;  // half-open range into `order`
+  };
+  std::vector<Run> runs;
+  for (std::size_t i = 0; i < order.size();) {
+    std::size_t j = i + 1;
+    while (j < order.size() &&
+           queries[order[j]].src == queries[order[i]].src) {
+      ++j;
+    }
+    runs.push_back(Run{i, j});
+    i = j;
+  }
+
+  std::vector<double> out(queries.size(), 0.0);
+  for_chunks(runs.size(), [&](std::size_t chunk, std::size_t begin,
+                              std::size_t end) {
+    MeasureScratch& scratch = *scratch_[chunk];
+    for (std::size_t r = begin; r < end; ++r) {
+      const Run& run = runs[r];
+      flood_snapshot(snap, queries[order[run.begin]].src,
+                     processing_delay_ms, scratch);
+      for (std::size_t k = run.begin; k < run.end; ++k) {
+        out[order[k]] = scratch.distance(queries[order[k]].dst);
+      }
+    }
+  });
+  return out;
+}
+
+double MeasureEngine::average_lookup_latency(
+    const OverlaySnapshot& snap, std::span<const QueryPair> queries,
+    const std::vector<double>* processing_delay_ms) {
+  PROPSIM_CHECK(!queries.empty());
+  const auto lat = lookup_latencies(snap, queries, processing_delay_ms);
+  double sum = 0.0;
+  for (const double v : lat) sum += v;
+  return sum / static_cast<double>(lat.size());
+}
+
+std::vector<double> MeasureEngine::route_latencies(
+    std::span<const QueryPair> queries, const RouteLatencyFn& fn) {
+  std::vector<double> out(queries.size(), 0.0);
+  for_chunks(queries.size(), [&](std::size_t /*chunk*/, std::size_t begin,
+                                 std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) out[i] = fn(queries[i]);
+  });
+  return out;
+}
+
+double MeasureEngine::average_route_latency(
+    std::span<const QueryPair> queries, const RouteLatencyFn& fn) {
+  PROPSIM_CHECK(!queries.empty());
+  const auto lat = route_latencies(queries, fn);
+  double sum = 0.0;
+  for (const double v : lat) sum += v;
+  return sum / static_cast<double>(lat.size());
+}
+
+std::vector<double> MeasureEngine::direct_latencies(
+    const OverlayNetwork& net, std::span<const QueryPair> queries) {
+  std::vector<double> out(queries.size(), 0.0);
+  for_chunks(queries.size(), [&](std::size_t /*chunk*/, std::size_t begin,
+                                 std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      out[i] = net.slot_latency(queries[i].src, queries[i].dst);
+    }
+  });
+  return out;
+}
+
+double MeasureEngine::average_direct_latency(
+    const OverlayNetwork& net, std::span<const QueryPair> queries) {
+  PROPSIM_CHECK(!queries.empty());
+  const auto lat = direct_latencies(net, queries);
+  double sum = 0.0;
+  for (const double v : lat) sum += v;
+  return sum / static_cast<double>(lat.size());
+}
+
+StretchResult MeasureEngine::stretch(const OverlayNetwork& net,
+                                     std::span<const QueryPair> queries,
+                                     const RouteLatencyFn& fn) {
+  StretchResult r;
+  r.logical_al = average_route_latency(queries, fn);
+  r.physical_al = average_direct_latency(net, queries);
+  PROPSIM_CHECK(r.physical_al > 0.0);
+  r.stretch = r.logical_al / r.physical_al;
+  return r;
+}
+
+}  // namespace propsim

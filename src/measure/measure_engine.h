@@ -1,0 +1,116 @@
+// Parallel, deterministic measurement engine.
+//
+// Fans the per-source Dijkstras (and per-query routed lookups) of a
+// metric sweep out over a ThreadPool. Determinism contract: results are
+// bit-identical to the serial path regardless of thread count, because
+//   - each worker writes only its own disjoint, preallocated slots of
+//     the output array (no shared accumulators, no result reordering),
+//   - the Dijkstra kernel over an OverlaySnapshot performs the same
+//     floating-point operations in the same order as the serial
+//     OverlayNetwork::flood_latencies (per-edge latencies are
+//     precomputed at capture, which is the identical double), and
+//   - averages are reduced serially in query-index order after the
+//     parallel map completes.
+// Worker scratch (distance array, priority queue, epoch-stamped visited
+// marks) is allocated once per worker and reused across sources and
+// across snapshots; the epoch stamp makes clearing O(touched), and the
+// IndexedPriorityQueue self-cleans when a run pops it empty.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/indexed_priority_queue.h"
+#include "common/thread_pool.h"
+#include "measure/overlay_snapshot.h"
+#include "measure/query.h"
+
+namespace propsim {
+
+/// Reusable per-worker Dijkstra state. dist[v] is valid only where
+/// stamp[v] == epoch; everything else is implicitly +infinity, so a new
+/// source costs one epoch bump instead of an O(V) refill.
+struct MeasureScratch {
+  std::vector<double> dist;
+  std::vector<std::uint32_t> stamp;
+  std::uint32_t epoch = 0;
+  IndexedPriorityQueue<double> queue{0};
+
+  /// Resizes for a snapshot of `n` slots (no-op when already sized) and
+  /// opens a fresh epoch.
+  void begin(std::size_t n);
+
+  /// Distance from the last flood's source to v (+inf if unreached).
+  double distance(SlotId v) const;
+};
+
+/// Single-source shortest latency over a snapshot, bit-identical to
+/// OverlayNetwork::flood_latencies over the live overlay (with the same
+/// link filter applied at capture). Results land in `scratch`; read
+/// them through scratch.distance().
+void flood_snapshot(const OverlaySnapshot& snap, SlotId source,
+                    const std::vector<double>* processing_delay_ms,
+                    MeasureScratch& scratch);
+
+class MeasureEngine {
+ public:
+  /// Sentinel for "one worker per hardware thread".
+  static constexpr std::size_t kAutoThreads = static_cast<std::size_t>(-1);
+
+  /// 0 and 1 both mean serial (no pool, no worker threads); kAutoThreads
+  /// resolves to std::thread::hardware_concurrency().
+  explicit MeasureEngine(std::size_t threads = 1);
+
+  /// Resolved worker count (>= 1).
+  std::size_t thread_count() const { return threads_; }
+
+  /// Flood first-response latency of each query (queries grouped by
+  /// source, one Dijkstra per distinct source, sources chunked over the
+  /// workers). Mirrors metrics' unstructured_lookup_latencies.
+  std::vector<double> lookup_latencies(
+      const OverlaySnapshot& snap, std::span<const QueryPair> queries,
+      const std::vector<double>* processing_delay_ms = nullptr);
+
+  /// Mean of lookup_latencies, reduced in query-index order.
+  double average_lookup_latency(
+      const OverlaySnapshot& snap, std::span<const QueryPair> queries,
+      const std::vector<double>* processing_delay_ms = nullptr);
+
+  /// fn(query) for each query, chunked over the workers. `fn` must be
+  /// safe to call concurrently (see RouteLatencyFn).
+  std::vector<double> route_latencies(std::span<const QueryPair> queries,
+                                      const RouteLatencyFn& fn);
+
+  /// Mean of route_latencies, reduced in query-index order.
+  double average_route_latency(std::span<const QueryPair> queries,
+                               const RouteLatencyFn& fn);
+
+  /// Direct (physical shortest-path) latency of each query under the
+  /// overlay's current placement.
+  std::vector<double> direct_latencies(const OverlayNetwork& net,
+                                       std::span<const QueryPair> queries);
+
+  /// Mean of direct_latencies, reduced in query-index order.
+  double average_direct_latency(const OverlayNetwork& net,
+                                std::span<const QueryPair> queries);
+
+  /// Routed vs direct latency with the given router (paper stretch).
+  StretchResult stretch(const OverlayNetwork& net,
+                        std::span<const QueryPair> queries,
+                        const RouteLatencyFn& fn);
+
+ private:
+  /// Runs body(chunk, begin, end) over `count` items split into at most
+  /// thread_count() contiguous chunks; serial engines run inline.
+  void for_chunks(std::size_t count,
+                  const std::function<void(std::size_t, std::size_t,
+                                           std::size_t)>& body);
+
+  std::size_t threads_;
+  std::unique_ptr<ThreadPool> pool_;  // null when serial
+  std::vector<std::unique_ptr<MeasureScratch>> scratch_;  // one per chunk
+};
+
+}  // namespace propsim

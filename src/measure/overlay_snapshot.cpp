@@ -1,0 +1,28 @@
+#include "measure/overlay_snapshot.h"
+
+namespace propsim {
+
+OverlaySnapshot OverlaySnapshot::capture(
+    const OverlayNetwork& net, const OverlayNetwork::LinkFilter* link_ok) {
+  const LogicalGraph& graph = net.graph();
+  const std::size_t n = graph.slot_count();
+  OverlaySnapshot snap;
+  snap.offsets_.resize(n + 1);
+  snap.active_.resize(n);
+  // 2 * edge_count is exact without a filter and an upper bound with one.
+  snap.targets_.reserve(2 * graph.edge_count());
+  snap.latency_ms_.reserve(2 * graph.edge_count());
+  for (SlotId s = 0; s < n; ++s) {
+    snap.offsets_[s] = snap.targets_.size();
+    snap.active_[s] = graph.is_active(s) ? 1 : 0;
+    for (const SlotId v : graph.neighbors(s)) {
+      if (link_ok != nullptr && !(*link_ok)(s, v)) continue;
+      snap.targets_.push_back(v);
+      snap.latency_ms_.push_back(net.slot_latency(s, v));
+    }
+  }
+  snap.offsets_[n] = snap.targets_.size();
+  return snap;
+}
+
+}  // namespace propsim

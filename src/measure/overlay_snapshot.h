@@ -1,0 +1,64 @@
+// Immutable CSR snapshot of an overlay for measurement sweeps.
+//
+// Metric evaluation runs one full Dijkstra per sampled query source and
+// repeats the whole sweep at every convergence-snapshot interval.
+// Walking the mutable LogicalGraph from worker threads would race with
+// nothing today (the sim is paused during a sample) but couples the
+// sweep to live state and recomputes slot_latency for every edge
+// relaxation. OverlaySnapshot freezes everything a sweep needs —
+// adjacency in compressed-sparse-row form (the CsrGraph pattern the
+// latency oracle already uses), the active-slot mask and the physical
+// latency of every directed logical edge — in one O(V + E) capture.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "overlay/overlay_network.h"
+
+namespace propsim {
+
+class OverlaySnapshot {
+ public:
+  OverlaySnapshot() = default;
+
+  /// Captures the overlay's current state. Neighbor order is preserved
+  /// exactly as the live graph iterates it, so a Dijkstra over the
+  /// snapshot relaxes edges in the same order as one over the live
+  /// overlay and produces bit-identical distances. `link_ok` (e.g. the
+  /// fault plan's partition filter) prunes directed logical edges at
+  /// capture time: a pruned edge simply does not exist in the snapshot,
+  /// matching a flood that skips it at relax time.
+  static OverlaySnapshot capture(
+      const OverlayNetwork& net,
+      const OverlayNetwork::LinkFilter* link_ok = nullptr);
+
+  std::size_t slot_count() const { return active_.size(); }
+  /// Directed (half-)edge count after filtering.
+  std::size_t edge_count() const { return targets_.size(); }
+
+  bool is_active(SlotId s) const {
+    PROPSIM_DCHECK(s < active_.size());
+    return active_[s] != 0;
+  }
+
+  std::span<const SlotId> targets(SlotId s) const {
+    PROPSIM_DCHECK(s < active_.size());
+    return {targets_.data() + offsets_[s], offsets_[s + 1] - offsets_[s]};
+  }
+
+  /// Physical latency of each edge in targets(s), same order (ms).
+  std::span<const double> latencies(SlotId s) const {
+    PROPSIM_DCHECK(s < active_.size());
+    return {latency_ms_.data() + offsets_[s], offsets_[s + 1] - offsets_[s]};
+  }
+
+ private:
+  std::vector<std::size_t> offsets_;  // slot_count + 1 row starts
+  std::vector<SlotId> targets_;
+  std::vector<double> latency_ms_;
+  std::vector<std::uint8_t> active_;
+};
+
+}  // namespace propsim

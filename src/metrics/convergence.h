@@ -3,29 +3,60 @@
 #pragma once
 
 #include <functional>
+#include <string>
+#include <vector>
 
 #include "common/timeseries.h"
 #include "sim/simulator.h"
 
 namespace propsim {
 
-/// Samples `metric()` every `interval_s` from t=start_s through t=end_s
+/// Samples metrics every `interval_s` from t=start_s through t=end_s
 /// inclusive (events scheduled up front; the simulator interleaves them
 /// with protocol activity). The sampler must outlive the simulation run.
+///
+/// Two forms:
+///  - single metric: one MetricFn, one named series (the historical
+///    API);
+///  - batched: a `prepare` hook that runs once per tick (capture one
+///    OverlaySnapshot, re-materialize slot delays, regenerate queries)
+///    followed by several named metrics evaluated against that shared
+///    state, each recording into its own series. Batching amortizes the
+///    expensive per-tick setup across every metric instead of paying it
+///    once per metric.
 class ConvergenceSampler {
  public:
   using MetricFn = std::function<double()>;
+  using PrepareFn = std::function<void()>;
+
+  struct NamedMetric {
+    std::string name;
+    MetricFn fn;
+  };
 
   ConvergenceSampler(Simulator& sim, std::string series_name,
                      double start_s, double end_s, double interval_s,
                      MetricFn metric);
 
-  const TimeSeries& series() const { return series_; }
-  TimeSeries take_series() { return std::move(series_); }
+  /// Batched form; `prepare` may be null when the metrics need no shared
+  /// per-tick state.
+  ConvergenceSampler(Simulator& sim, double start_s, double end_s,
+                     double interval_s, PrepareFn prepare,
+                     std::vector<NamedMetric> metrics);
+
+  std::size_t series_count() const { return series_.size(); }
+  const TimeSeries& series(std::size_t i = 0) const { return series_[i]; }
+  TimeSeries take_series(std::size_t i = 0) {
+    return std::move(series_[i]);
+  }
 
  private:
-  TimeSeries series_;
-  MetricFn metric_;
+  void schedule(Simulator& sim, double start_s, double end_s,
+                double interval_s);
+
+  std::vector<TimeSeries> series_;  // parallel to metrics_
+  PrepareFn prepare_;               // may be null
+  std::vector<MetricFn> metrics_;
 };
 
 }  // namespace propsim

@@ -1,8 +1,5 @@
 #include "metrics/metrics.h"
 
-#include <algorithm>
-#include <numeric>
-
 namespace propsim {
 
 std::vector<QueryPair> sample_query_pairs(const LogicalGraph& graph,
@@ -23,54 +20,35 @@ std::vector<QueryPair> sample_query_pairs(const LogicalGraph& graph,
   return pairs;
 }
 
+// The serial helpers delegate to a one-worker MeasureEngine; the
+// engine's serial path performs the identical operations in the
+// identical order, so values are bit-equal to the pre-engine code.
+
 double average_route_latency(std::span<const QueryPair> queries,
                              const RouteLatencyFn& fn) {
-  PROPSIM_CHECK(!queries.empty());
-  double sum = 0.0;
-  for (const QueryPair& q : queries) sum += fn(q);
-  return sum / static_cast<double>(queries.size());
+  MeasureEngine serial(1);
+  return serial.average_route_latency(queries, fn);
 }
 
 double average_direct_latency(const OverlayNetwork& net,
                               std::span<const QueryPair> queries) {
-  PROPSIM_CHECK(!queries.empty());
-  double sum = 0.0;
-  for (const QueryPair& q : queries) sum += net.slot_latency(q.src, q.dst);
-  return sum / static_cast<double>(queries.size());
+  MeasureEngine serial(1);
+  return serial.average_direct_latency(net, queries);
 }
 
 StretchResult stretch(const OverlayNetwork& net,
                       std::span<const QueryPair> queries,
                       const RouteLatencyFn& fn) {
-  StretchResult r;
-  r.logical_al = average_route_latency(queries, fn);
-  r.physical_al = average_direct_latency(net, queries);
-  PROPSIM_CHECK(r.physical_al > 0.0);
-  r.stretch = r.logical_al / r.physical_al;
-  return r;
+  MeasureEngine serial(1);
+  return serial.stretch(net, queries, fn);
 }
 
 std::vector<double> unstructured_lookup_latencies(
     const OverlayNetwork& net, std::span<const QueryPair> queries,
     const std::vector<double>* processing_delay_ms) {
-  // One Dijkstra per distinct source: sort query indices by source.
-  std::vector<std::size_t> order(queries.size());
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return queries[a].src < queries[b].src;
-  });
-  std::vector<double> out(queries.size(), 0.0);
-  std::vector<double> dist;
-  SlotId current = kInvalidSlot;
-  for (const std::size_t idx : order) {
-    const QueryPair& q = queries[idx];
-    if (q.src != current) {
-      current = q.src;
-      dist = net.flood_latencies(current, processing_delay_ms);
-    }
-    out[idx] = dist[q.dst];
-  }
-  return out;
+  MeasureEngine serial(1);
+  return serial.lookup_latencies(OverlaySnapshot::capture(net), queries,
+                                 processing_delay_ms);
 }
 
 double average_unstructured_lookup_latency(

@@ -8,17 +8,15 @@
 
 #include "chord/chord_ring.h"
 #include "common/rng.h"
+#include "measure/measure_engine.h"
 #include "overlay/overlay_network.h"
 
 namespace propsim {
 
-struct QueryPair {
-  SlotId src;
-  SlotId dst;
-};
-
-/// Routing latency of one query, in milliseconds.
-using RouteLatencyFn = std::function<double(const QueryPair&)>;
+// QueryPair, RouteLatencyFn and StretchResult live in measure/query.h
+// (shared with the parallel measurement engine); the serial helpers
+// below delegate to a one-worker MeasureEngine and stay bit-identical
+// to their historical implementations.
 
 /// Samples `count` (src != dst) pairs uniformly over active slots.
 std::vector<QueryPair> sample_query_pairs(const LogicalGraph& graph,
@@ -32,12 +30,6 @@ double average_route_latency(std::span<const QueryPair> queries,
 /// the paper's physical AL restricted to the sampled pairs.
 double average_direct_latency(const OverlayNetwork& net,
                               std::span<const QueryPair> queries);
-
-struct StretchResult {
-  double logical_al = 0.0;   // mean routed latency
-  double physical_al = 0.0;  // mean direct latency
-  double stretch = 0.0;      // logical / physical
-};
 
 /// Stretch over the queries with the given router.
 StretchResult stretch(const OverlayNetwork& net,

@@ -40,21 +40,35 @@ std::optional<std::vector<SlotId>> OverlayNetwork::random_walk(
   PROPSIM_CHECK(ttl >= 1);
   PROPSIM_CHECK(graph_.is_active(from));
   PROPSIM_CHECK(graph_.has_edge(from, first_hop));
+  // The paper's walk message carries visited identifiers to avoid
+  // repetitive forwarding. Visited membership is an epoch-stamped mark
+  // per slot (stamp == current epoch <=> on the path), so each step is
+  // O(degree) instead of the former O(degree * ttl) std::find scan —
+  // candidate order and RNG draws are unchanged, so walks are identical.
+  if (walk_stamp_.size() != graph_.slot_count()) {
+    walk_stamp_.assign(graph_.slot_count(), 0);
+    walk_epoch_ = 0;
+  }
+  if (++walk_epoch_ == 0) {
+    std::fill(walk_stamp_.begin(), walk_stamp_.end(), 0u);
+    walk_epoch_ = 1;
+  }
+  const std::uint32_t epoch = walk_epoch_;
   std::vector<SlotId> path{from, first_hop};
   path.reserve(ttl + 1);
+  walk_stamp_[from] = epoch;
+  walk_stamp_[first_hop] = epoch;
   std::vector<SlotId> candidates;
   while (path.size() < ttl + 1) {
     const SlotId here = path.back();
     candidates.clear();
     for (const SlotId v : graph_.neighbors(here)) {
-      // The paper's walk message carries visited identifiers to avoid
-      // repetitive forwarding.
-      if (std::find(path.begin(), path.end(), v) == path.end()) {
-        candidates.push_back(v);
-      }
+      if (walk_stamp_[v] != epoch) candidates.push_back(v);
     }
     if (candidates.empty()) return std::nullopt;
-    path.push_back(rng.pick(candidates));
+    const SlotId chosen = rng.pick(candidates);
+    walk_stamp_[chosen] = epoch;
+    path.push_back(chosen);
   }
   return path;
 }
@@ -62,13 +76,28 @@ std::optional<std::vector<SlotId>> OverlayNetwork::random_walk(
 std::vector<double> OverlayNetwork::flood_latencies(
     SlotId source, const std::vector<double>* processing_delay_ms,
     const LinkFilter* link_ok) const {
+  FloodScratch scratch;
+  flood_latencies_into(scratch, source, processing_delay_ms, link_ok);
+  return std::move(scratch.dist);
+}
+
+const std::vector<double>& OverlayNetwork::flood_latencies_into(
+    FloodScratch& scratch, SlotId source,
+    const std::vector<double>* processing_delay_ms,
+    const LinkFilter* link_ok) const {
   constexpr double kInf = std::numeric_limits<double>::infinity();
-  std::vector<double> dist(graph_.slot_count(), kInf);
+  scratch.dist.assign(graph_.slot_count(), kInf);
+  std::vector<double>& dist = scratch.dist;
   PROPSIM_CHECK(graph_.is_active(source));
   if (processing_delay_ms != nullptr) {
     PROPSIM_CHECK(processing_delay_ms->size() == graph_.slot_count());
   }
-  IndexedPriorityQueue<double> queue(graph_.slot_count());
+  // A prior run leaves the queue empty (Dijkstra pops it dry), so only a
+  // capacity change forces a rebuild.
+  if (scratch.queue.capacity() != graph_.slot_count()) {
+    scratch.queue = IndexedPriorityQueue<double>(graph_.slot_count());
+  }
+  IndexedPriorityQueue<double>& queue = scratch.queue;
   dist[source] = 0.0;
   queue.push_or_update(source, 0.0);
   while (!queue.empty()) {
@@ -104,12 +133,21 @@ double path_latency(const OverlayNetwork& net, std::span<const SlotId> path,
 
 std::vector<std::uint32_t> OverlayNetwork::hop_distances(
     SlotId source, std::uint32_t max_hops) const {
+  FloodScratch scratch;
+  hop_distances_into(scratch, source, max_hops);
+  return std::move(scratch.hops);
+}
+
+const std::vector<std::uint32_t>& OverlayNetwork::hop_distances_into(
+    FloodScratch& scratch, SlotId source, std::uint32_t max_hops) const {
   constexpr auto kUnreached = std::numeric_limits<std::uint32_t>::max();
-  std::vector<std::uint32_t> dist(graph_.slot_count(), kUnreached);
+  scratch.hops.assign(graph_.slot_count(), kUnreached);
+  std::vector<std::uint32_t>& dist = scratch.hops;
   PROPSIM_CHECK(graph_.is_active(source));
   dist[source] = 0;
-  std::vector<SlotId> frontier{source};
-  std::vector<SlotId> next;
+  scratch.frontier.assign(1, source);
+  std::vector<SlotId>& frontier = scratch.frontier;
+  std::vector<SlotId>& next = scratch.next;
   for (std::uint32_t hop = 1; hop <= max_hops && !frontier.empty(); ++hop) {
     next.clear();
     for (const SlotId u : frontier) {

@@ -9,6 +9,7 @@
 #include <span>
 #include <vector>
 
+#include "common/indexed_priority_queue.h"
 #include "common/rng.h"
 #include "obs/event_bus.h"
 #include "overlay/logical_graph.h"
@@ -58,9 +59,25 @@ class OverlayNetwork {
   /// walk gets stuck (dead end with no unvisited neighbor); walks avoid
   /// revisiting nodes, mirroring the paper's repeated-forwarding guard.
   /// Returns nullopt when the walk cannot reach the requested depth.
+  /// Reuses a per-overlay epoch-stamped visited buffer (the former
+  /// std::find over the path made each step O(ttl)); call from the
+  /// simulation thread only.
   std::optional<std::vector<SlotId>> random_walk(SlotId from, SlotId first_hop,
                                                  std::size_t ttl,
                                                  Rng& rng) const;
+
+  /// Caller-owned scratch for flood_latencies_into / hop_distances_into:
+  /// hot-loop callers (metric kernels, event-driven lookup resolution)
+  /// reuse one of these instead of reallocating the distance vector and
+  /// priority queue on every call. A default-constructed instance works
+  /// for any overlay; buffers size themselves on first use.
+  struct FloodScratch {
+    std::vector<double> dist;
+    std::vector<std::uint32_t> hops;
+    std::vector<SlotId> frontier;
+    std::vector<SlotId> next;
+    IndexedPriorityQueue<double> queue{0};
+  };
 
   /// Weighted single-source shortest latency over *logical* edges (each
   /// edge costs the physical latency between the slot hosts, plus the
@@ -75,10 +92,22 @@ class OverlayNetwork {
       SlotId source, const std::vector<double>* processing_delay_ms = nullptr,
       const LinkFilter* link_ok = nullptr) const;
 
+  /// flood_latencies into caller-owned scratch; the returned reference
+  /// aliases scratch.dist and is valid until the next _into call.
+  const std::vector<double>& flood_latencies_into(
+      FloodScratch& scratch, SlotId source,
+      const std::vector<double>* processing_delay_ms = nullptr,
+      const LinkFilter* link_ok = nullptr) const;
+
   /// Hop-count BFS distances over logical edges, capped at max_hops
   /// (entries beyond the cap are UINT32_MAX).
   std::vector<std::uint32_t> hop_distances(SlotId source,
                                            std::uint32_t max_hops) const;
+
+  /// hop_distances into caller-owned scratch; the returned reference
+  /// aliases scratch.hops and is valid until the next _into call.
+  const std::vector<std::uint32_t>& hop_distances_into(
+      FloodScratch& scratch, SlotId source, std::uint32_t max_hops) const;
 
  private:
   LogicalGraph graph_;
@@ -86,6 +115,10 @@ class OverlayNetwork {
   const LatencyOracle* oracle_;
   TrafficCounter traffic_;
   obs::EventBus* trace_ = nullptr;
+  // random_walk's visited marks (slot stamped == visited this walk);
+  // mutable because walks are logically const queries. Sim-thread only.
+  mutable std::vector<std::uint32_t> walk_stamp_;
+  mutable std::uint32_t walk_epoch_ = 0;
 };
 
 /// Total latency of a hop-by-hop route under the current placement (sum

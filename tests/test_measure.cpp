@@ -1,0 +1,226 @@
+// Measurement engine: snapshot fidelity, parallel determinism (results
+// bit-identical to the serial path for any thread count), scratch
+// reuse, the measure_threads config key, and golden whole-experiment
+// JSON across thread counts.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "app/experiment.h"
+#include "app/result_json.h"
+#include "chord/chord_ring.h"
+#include "common/config.h"
+#include "fixtures.h"
+#include "measure/measure_engine.h"
+#include "metrics/metrics.h"
+
+namespace propsim {
+namespace {
+
+using testing::UnstructuredFixture;
+
+// ----------------------------------------------------- OverlaySnapshot ----
+
+TEST(OverlaySnapshot, MirrorsLiveAdjacencyAndLatencies) {
+  auto fx = UnstructuredFixture::make(40, 7001);
+  const OverlaySnapshot snap = OverlaySnapshot::capture(fx.net);
+  const LogicalGraph& g = fx.net.graph();
+  ASSERT_EQ(snap.slot_count(), g.slot_count());
+  EXPECT_EQ(snap.edge_count(), 2 * g.edge_count());
+  for (SlotId s = 0; s < g.slot_count(); ++s) {
+    EXPECT_EQ(snap.is_active(s), g.is_active(s));
+    const auto targets = snap.targets(s);
+    const auto lats = snap.latencies(s);
+    const auto nbrs = g.neighbors(s);
+    ASSERT_EQ(targets.size(), nbrs.size());
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      EXPECT_EQ(targets[i], nbrs[i]);
+      // Precomputed edge latency is the identical double slot_latency
+      // returns — the determinism contract depends on exact equality.
+      EXPECT_EQ(lats[i], fx.net.slot_latency(s, nbrs[i]));
+    }
+  }
+}
+
+TEST(OverlaySnapshot, LinkFilterPrunesAtCapture) {
+  auto fx = UnstructuredFixture::make(40, 7002);
+  const OverlayNetwork::LinkFilter drop = [](SlotId a, SlotId b) {
+    return (a + b) % 3 != 0;
+  };
+  const OverlaySnapshot snap = OverlaySnapshot::capture(fx.net, &drop);
+  for (SlotId s = 0; s < snap.slot_count(); ++s) {
+    for (const SlotId t : snap.targets(s)) EXPECT_TRUE(drop(s, t));
+  }
+  // Pruned-at-capture == skipped-at-relax: floods over the snapshot must
+  // equal live floods under the same filter, unreachable slots included.
+  MeasureScratch scratch;
+  for (const SlotId src : {SlotId{0}, SlotId{5}, SlotId{17}}) {
+    flood_snapshot(snap, src, nullptr, scratch);
+    const auto live = fx.net.flood_latencies(src, nullptr, &drop);
+    for (SlotId v = 0; v < live.size(); ++v) {
+      EXPECT_EQ(scratch.distance(v), live[v]) << "src " << src << " v " << v;
+    }
+  }
+}
+
+TEST(FloodSnapshot, MatchesLiveFloodWithProcessingDelays) {
+  auto fx = UnstructuredFixture::make(50, 7003);
+  const OverlaySnapshot snap = OverlaySnapshot::capture(fx.net);
+  std::vector<double> proc(fx.net.graph().slot_count(), 0.0);
+  for (std::size_t s = 0; s < proc.size(); s += 3) proc[s] = 7.5;
+  MeasureScratch scratch;  // reused across every source
+  for (SlotId src = 0; src < 50; ++src) {
+    flood_snapshot(snap, src, &proc, scratch);
+    const auto live = fx.net.flood_latencies(src, &proc);
+    for (SlotId v = 0; v < live.size(); ++v) {
+      EXPECT_EQ(scratch.distance(v), live[v]) << "src " << src << " v " << v;
+    }
+  }
+}
+
+// ------------------------------------------------------- MeasureEngine ----
+
+TEST(MeasureEngine, LookupLatenciesBitIdenticalAcrossThreadCounts) {
+  auto fx = UnstructuredFixture::make(60, 7004);
+  Rng rng(9);
+  const auto queries = sample_query_pairs(fx.net.graph(), 400, rng);
+  const OverlaySnapshot snap = OverlaySnapshot::capture(fx.net);
+  MeasureEngine serial(1);
+  const auto want = serial.lookup_latencies(snap, queries);
+  const double want_avg = serial.average_lookup_latency(snap, queries);
+  for (const std::size_t t : {2, 4, 8}) {
+    MeasureEngine engine(t);
+    EXPECT_EQ(engine.thread_count(), t);
+    EXPECT_EQ(engine.lookup_latencies(snap, queries), want);
+    EXPECT_EQ(engine.average_lookup_latency(snap, queries), want_avg);
+  }
+}
+
+TEST(MeasureEngine, MatchesHistoricalSerialHelpers) {
+  auto fx = UnstructuredFixture::make(50, 7005);
+  Rng rng(10);
+  const auto queries = sample_query_pairs(fx.net.graph(), 250, rng);
+  MeasureEngine engine(4);
+  EXPECT_EQ(engine.lookup_latencies(OverlaySnapshot::capture(fx.net), queries),
+            unstructured_lookup_latencies(fx.net, queries));
+  EXPECT_EQ(engine.average_direct_latency(fx.net, queries),
+            average_direct_latency(fx.net, queries));
+}
+
+TEST(MeasureEngine, StretchBitIdenticalOnChordRouter) {
+  Rng rng(11);
+  auto fx = UnstructuredFixture::make(40, 7006);
+  const auto ring = ChordRing::build_random(40, ChordConfig{}, rng);
+  const auto router = chord_router(fx.net, ring);
+  const auto queries = sample_query_pairs(fx.net.graph(), 300, rng);
+  MeasureEngine serial(1);
+  MeasureEngine parallel(4);
+  EXPECT_EQ(serial.route_latencies(queries, router),
+            parallel.route_latencies(queries, router));
+  EXPECT_EQ(serial.direct_latencies(fx.net, queries),
+            parallel.direct_latencies(fx.net, queries));
+  const StretchResult a = serial.stretch(fx.net, queries, router);
+  const StretchResult b = parallel.stretch(fx.net, queries, router);
+  EXPECT_EQ(a.logical_al, b.logical_al);
+  EXPECT_EQ(a.physical_al, b.physical_al);
+  EXPECT_EQ(a.stretch, b.stretch);
+}
+
+TEST(MeasureEngine, ScratchReusedAcrossChangingSnapshots) {
+  auto fx = UnstructuredFixture::make(40, 7007);
+  Rng rng(12);
+  const auto queries = sample_query_pairs(fx.net.graph(), 200, rng);
+  MeasureEngine reused(4);
+  const OverlaySnapshot before = OverlaySnapshot::capture(fx.net);
+  const auto r_before = reused.lookup_latencies(before, queries);
+
+  // Rewire the overlay; the old snapshot must stay valid and the reused
+  // engine must agree with a fresh one on both snapshots.
+  LogicalGraph& g = fx.net.graph();
+  const SlotId drop = g.neighbors(0).front();
+  g.remove_edge(0, drop);
+  SlotId add = 1;
+  while (add == drop || g.has_edge(0, add)) ++add;
+  g.add_edge(0, add);
+  const OverlaySnapshot after = OverlaySnapshot::capture(fx.net);
+  const auto r_after = reused.lookup_latencies(after, queries);
+
+  MeasureEngine fresh(4);
+  EXPECT_EQ(fresh.lookup_latencies(after, queries), r_after);
+  EXPECT_EQ(fresh.lookup_latencies(before, queries), r_before);
+}
+
+// ------------------------------------------------ measure_threads key ----
+
+ExperimentSpec must_parse(const std::string& text) {
+  const SpecResult parsed = ExperimentSpec::from_config(Config::parse(text));
+  EXPECT_TRUE(parsed.ok()) << parsed.error_report();
+  return parsed.ok() ? parsed.spec() : ExperimentSpec{};
+}
+
+TEST(MeasureThreadsKey, DefaultsToSerial) {
+  EXPECT_EQ(must_parse("").measure_threads, 1u);
+}
+
+TEST(MeasureThreadsKey, ParsesAutoAndCounts) {
+  EXPECT_EQ(must_parse("measure_threads = auto\n").measure_threads,
+            ExperimentSpec::kMeasureThreadsAuto);
+  EXPECT_EQ(must_parse("measure_threads = 0\n").measure_threads, 0u);
+  EXPECT_EQ(must_parse("measure_threads = 6\n").measure_threads, 6u);
+}
+
+TEST(MeasureThreadsKey, RejectsNegativeAndGarbage) {
+  for (const char* bad : {"measure_threads = -2\n", "measure_threads = up\n"}) {
+    const SpecResult parsed =
+        ExperimentSpec::from_config(Config::parse(bad));
+    EXPECT_FALSE(parsed.ok()) << bad;
+  }
+}
+
+// ------------------------------------------------- golden result JSON ----
+
+std::string golden_json(const std::string& base, const std::string& threads) {
+  Config config = Config::parse(base);
+  config.set("measure_threads", threads);
+  const SpecResult parsed = ExperimentSpec::from_config(config);
+  EXPECT_TRUE(parsed.ok()) << parsed.error_report();
+  const ExperimentSpec& spec = parsed.spec();
+  ExperimentResult result = run_experiment(spec);
+  // Phase wall-clock timers are the schema's only nondeterministic
+  // fields; everything else must match byte-for-byte.
+  result.trace.warmup_wall_ms = 0.0;
+  result.trace.maintenance_wall_ms = 0.0;
+  return experiment_result_json(spec, result).dump(2);
+}
+
+TEST(MeasureGolden, Fig5LikeResultJsonIdenticalAcrossThreadCounts) {
+  // configs/fig5_like.conf downscaled to test time.
+  const std::string base =
+      "topology = ts-large\noverlay = gnutella\nprotocol = prop-g\n"
+      "nodes = 300\nhorizon = 900\nsample_interval = 100\n"
+      "queries = 2500\nnhops = 2\n";
+  const std::string serial = golden_json(base, "1");
+  EXPECT_EQ(serial, golden_json(base, "4"));
+  EXPECT_EQ(serial, golden_json(base, "8"));
+}
+
+TEST(MeasureGolden, FaultedResultJsonIdenticalAcrossThreadCounts) {
+  // Faults exercise the capture-time LinkFilter path: during the
+  // partition window the sampled metric may even be +infinity (dumped
+  // as null), and it must be the same null at every thread count.
+  const std::string base =
+      "topology = ts-large\noverlay = gnutella\nprotocol = prop-o\n"
+      "nodes = 300\nhorizon = 900\nsample_interval = 100\n"
+      "queries = 2500\nmodel_message_delays = true\n"
+      "fault_loss = 0.05\nfault_jitter = 0.2\nfault_crash = 0.02\n"
+      "fault_partition_domain = auto\n"
+      "fault_partition_start = 300\nfault_partition_end = 600\n";
+  const std::string serial = golden_json(base, "1");
+  EXPECT_EQ(serial, golden_json(base, "4"));
+  EXPECT_EQ(serial, golden_json(base, "8"));
+}
+
+}  // namespace
+}  // namespace propsim

@@ -25,6 +25,54 @@ TEST(Metrics, SampleQueryPairsValid) {
   }
 }
 
+TEST(Metrics, SampleQueryPairsUnderChurnSkipsInactive) {
+  auto fx = UnstructuredFixture::make(40, 5006);
+  LogicalGraph& g = fx.net.graph();
+  // A burst of departures: every third slot leaves.
+  std::vector<SlotId> gone;
+  for (SlotId s = 1; s < 40; s += 3) {
+    g.deactivate_slot(s);
+    gone.push_back(s);
+  }
+  Rng rng(6);
+  const auto pairs = sample_query_pairs(g, 200, rng);
+  EXPECT_EQ(pairs.size(), 200u);
+  for (const QueryPair& q : pairs) {
+    EXPECT_TRUE(g.is_active(q.src));
+    EXPECT_TRUE(g.is_active(q.dst));
+    EXPECT_FALSE(std::binary_search(gone.begin(), gone.end(), q.src));
+    EXPECT_FALSE(std::binary_search(gone.begin(), gone.end(), q.dst));
+  }
+}
+
+TEST(Metrics, SampleQueryPairsDeterministicAfterRejoin) {
+  auto fx = UnstructuredFixture::make(40, 5007);
+  LogicalGraph& g = fx.net.graph();
+  // Leave/rejoin cycle: 2, 9 and 14 depart; 9 comes back isolated.
+  for (const SlotId s : {SlotId{2}, SlotId{9}, SlotId{14}}) {
+    g.deactivate_slot(s);
+  }
+  g.reactivate_slot(9);
+  Rng a(7);
+  Rng b(7);
+  const auto first = sample_query_pairs(g, 300, a);
+  const auto second = sample_query_pairs(g, 300, b);
+  ASSERT_EQ(first.size(), second.size());
+  bool saw_rejoined = false;
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].src, second[i].src);
+    EXPECT_EQ(first[i].dst, second[i].dst);
+    EXPECT_NE(first[i].src, 2u);
+    EXPECT_NE(first[i].dst, 2u);
+    EXPECT_NE(first[i].src, 14u);
+    EXPECT_NE(first[i].dst, 14u);
+    saw_rejoined =
+        saw_rejoined || first[i].src == 9u || first[i].dst == 9u;
+  }
+  // The rejoined slot is sampled again (300 draws over 38 slots).
+  EXPECT_TRUE(saw_rejoined);
+}
+
 TEST(Metrics, AverageRouteLatencyIsMean) {
   const std::vector<QueryPair> pairs{{0, 1}, {1, 2}, {2, 0}};
   double next = 0.0;
@@ -96,6 +144,28 @@ TEST(Convergence, SamplesOnSchedule) {
   EXPECT_DOUBLE_EQ(ts.value_at(30.0), 7.0);
   EXPECT_DOUBLE_EQ(ts.last_value(), 7.0);
   EXPECT_EQ(ts.name(), "metric");
+}
+
+TEST(Convergence, BatchedPrepareRunsOncePerTickBeforeMetrics) {
+  Simulator sim;
+  int prepared = 0;
+  double base = 0.0;
+  sim.schedule_at(15.0, [&] { base = 100.0; });
+  std::vector<ConvergenceSampler::NamedMetric> metrics;
+  metrics.push_back(
+      {"a", [&] { return base + static_cast<double>(prepared); }});
+  metrics.push_back({"b", [&] { return 2.0 * base; }});
+  ConvergenceSampler sampler(sim, 0.0, 40.0, 10.0, [&] { ++prepared; },
+                             std::move(metrics));
+  sim.run_all();
+  EXPECT_EQ(prepared, 5);  // ticks at 0, 10, 20, 30, 40
+  ASSERT_EQ(sampler.series_count(), 2u);
+  EXPECT_EQ(sampler.series(0).name(), "a");
+  EXPECT_EQ(sampler.series(1).name(), "b");
+  // Prepare has already run when metric "a" samples at t=0.
+  EXPECT_DOUBLE_EQ(sampler.series(0).value_at(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(sampler.series(0).value_at(20.0), 103.0);
+  EXPECT_DOUBLE_EQ(sampler.series(1).last_value(), 200.0);
 }
 
 TEST(Convergence, InterleavesWithOtherEvents) {

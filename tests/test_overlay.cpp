@@ -1,10 +1,12 @@
 #include <algorithm>
 #include <limits>
+#include <optional>
 #include <set>
 
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "fixtures.h"
 #include "overlay/graph_io.h"
 #include "overlay/isomorphism.h"
 #include "overlay/logical_graph.h"
@@ -228,6 +230,73 @@ TEST_F(OverlayNetworkTest, FloodLatenciesWithProcessingDelay) {
   // 0->1 pays 1 + proc(1)=10; 0->2 via 1 pays 12, via 3: 3+0+1+0=4.
   EXPECT_DOUBLE_EQ(d[1], 11.0);
   EXPECT_DOUBLE_EQ(d[2], 4.0);
+}
+
+// The walk algorithm random_walk replaced: visited membership via
+// std::find over the path, O(degree * ttl) per step. Kept verbatim as
+// the behavioral reference — the epoch-stamped version must draw the
+// exact same candidates in the exact same order.
+std::optional<std::vector<SlotId>> reference_walk(const OverlayNetwork& net,
+                                                  SlotId from,
+                                                  SlotId first_hop,
+                                                  std::size_t ttl, Rng& rng) {
+  std::vector<SlotId> path{from, first_hop};
+  path.reserve(ttl + 1);
+  std::vector<SlotId> candidates;
+  while (path.size() < ttl + 1) {
+    const SlotId here = path.back();
+    candidates.clear();
+    for (const SlotId v : net.graph().neighbors(here)) {
+      if (std::find(path.begin(), path.end(), v) == path.end()) {
+        candidates.push_back(v);
+      }
+    }
+    if (candidates.empty()) return std::nullopt;
+    const SlotId chosen = rng.pick(candidates);
+    path.push_back(chosen);
+  }
+  return path;
+}
+
+TEST(RandomWalkRegression, LongTtlMatchesFindBasedReference) {
+  auto fx = testing::UnstructuredFixture::make(60, 6001, 4);
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const SlotId from = static_cast<SlotId>(seed % 60);
+    const auto nbrs = fx.net.graph().neighbors(from);
+    ASSERT_FALSE(nbrs.empty());
+    const SlotId first_hop = nbrs.front();
+    for (const std::size_t ttl : {2, 8, 40}) {
+      // Separate generators with the same seed: identical candidate
+      // sequences must consume identical draws.
+      Rng walk_rng(seed);
+      Rng ref_rng(seed);
+      const auto got = fx.net.random_walk(from, first_hop, ttl, walk_rng);
+      const auto want = reference_walk(fx.net, from, first_hop, ttl, ref_rng);
+      ASSERT_EQ(got.has_value(), want.has_value())
+          << "seed " << seed << " ttl " << ttl;
+      if (got.has_value()) {
+        EXPECT_EQ(*got, *want) << "seed " << seed << " ttl " << ttl;
+      }
+    }
+  }
+}
+
+TEST(FloodScratch, ReuseMatchesAllocatingAcrossSources) {
+  auto fx = testing::UnstructuredFixture::make(50, 6002);
+  OverlayNetwork::FloodScratch scratch;  // one buffer for every call
+  std::vector<double> proc(fx.net.graph().slot_count(), 0.0);
+  for (std::size_t s = 0; s < proc.size(); s += 4) proc[s] = 5.0;
+  const OverlayNetwork::LinkFilter drop = [](SlotId a, SlotId b) {
+    return a % 7 != 0 && b % 7 != 0;
+  };
+  for (const SlotId src : {SlotId{1}, SlotId{7}, SlotId{23}, SlotId{44}}) {
+    EXPECT_EQ(fx.net.flood_latencies(src, &proc),
+              fx.net.flood_latencies_into(scratch, src, &proc));
+    EXPECT_EQ(fx.net.flood_latencies(src, nullptr, &drop),
+              fx.net.flood_latencies_into(scratch, src, nullptr, &drop));
+    EXPECT_EQ(fx.net.hop_distances(src, 4),
+              fx.net.hop_distances_into(scratch, src, 4));
+  }
 }
 
 TEST_F(OverlayNetworkTest, HopDistancesBfs) {
