@@ -17,6 +17,9 @@
 
 namespace propsim {
 
+class FaultInjector;
+class PropEngine;
+
 struct LintReport {
   std::vector<LintFinding> findings;
   std::size_t rules_run = 0;
@@ -52,6 +55,22 @@ class InvariantChecker {
 /// audit below does real work only then).
 bool paranoid_checks_enabled();
 
+/// Optional live-state hooks for the fault-era audit rules. Both objects
+/// are borrowed (may be null) and must outlive the simulation.
+struct ParanoidAuditHooks {
+  /// Enables partition-closure: slot sides and the cut size are audited
+  /// against a baseline re-anchored whenever a partition window opens.
+  const FaultInjector* faults = nullptr;
+  /// Enables negotiation-locks: the engine's two-phase lock table is
+  /// audited for symmetry, liveness and a pending release event.
+  const PropEngine* prop = nullptr;
+};
+
+/// Assembles the two-phase lock view of a live engine for the
+/// negotiation-locks rule (also used directly by tests).
+NegotiationLockView negotiation_lock_view(const PropEngine& prop,
+                                          const LogicalGraph& graph);
+
 /// Installs a periodic structural audit on the simulator: every
 /// `every_n_events` executed events the overlay is re-linted against the
 /// structural rules (edge-range, self-loops, parallel edges, connectivity,
@@ -59,12 +78,14 @@ bool paranoid_checks_enabled();
 /// snapshot taken here. Aborts the process on the first error finding —
 /// a silent invariant violation would invalidate every figure downstream.
 ///
-/// Degree conservation is skipped when `churn_expected` is true (joins
-/// and leaves legitimately change the multiset). `net` and `sim` must
-/// outlive the simulation. No-op (and returns false) unless the library
-/// was built with PROPSIM_PARANOID.
+/// Degree conservation and partition closure are skipped when
+/// `churn_expected` is true (joins and leaves legitimately change the
+/// multiset, and un-gated join/stitch edges may cross an open cut).
+/// `net` and `sim` must outlive the simulation. No-op (and returns
+/// false) unless the library was built with PROPSIM_PARANOID.
 bool install_paranoid_audit(Simulator& sim, const OverlayNetwork& net,
                             std::uint64_t every_n_events = 4096,
-                            bool churn_expected = false);
+                            bool churn_expected = false,
+                            ParanoidAuditHooks hooks = {});
 
 }  // namespace propsim

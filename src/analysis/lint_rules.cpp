@@ -175,6 +175,7 @@ class ParallelEdgeRule final : public LintRule {
   }
   void check(const LintContext& ctx,
              std::vector<LintFinding>& findings) const override {
+    // det-ok(D1): membership probe per packed edge key; never iterated
     std::unordered_set<std::uint64_t> seen;
     seen.reserve(ctx.graph->edges.size());
     for (const auto& e : ctx.graph->edges) {
@@ -561,7 +562,147 @@ class CanTilingRule final : public LintRule {
   }
 };
 
+// ------------------------------------------------------ partition-closure
+class PartitionClosureRule final : public LintRule {
+ public:
+  std::string_view name() const override { return "partition-closure"; }
+  std::string_view description() const override {
+    return "while a stub-domain partition window is open, no slot's bound "
+           "host changes partition side and the number of overlay edges "
+           "crossing the cut never grows";
+  }
+  bool applicable(const LintContext& ctx) const override {
+    return ctx.graph != nullptr && ctx.partition != nullptr;
+  }
+  void check(const LintContext& ctx,
+             std::vector<LintFinding>& findings) const override {
+    const PartitionView& view = *ctx.partition;
+    if (view.live_domains.empty()) return;  // no window open: vacuous
+    const auto side = [](const std::vector<std::uint32_t>& dom, SlotId s,
+                         std::uint32_t d) {
+      return s < dom.size() && dom[s] == d;
+    };
+    for (const std::uint32_t d : view.live_domains) {
+      // (a) Side stability: a slot bound at window entry and bound now
+      // must not have crossed the cut — every negotiation leg consults
+      // deliver(), so no exchange can move a host across an open
+      // partition. Slots unbound at either end are mid-churn; skip.
+      const std::size_t slots = std::min(view.slot_domain.size(),
+                                         view.baseline_slot_domain.size());
+      for (SlotId s = 0; s < slots; ++s) {
+        if (view.slot_domain[s] == PartitionView::kUnbound ||
+            view.baseline_slot_domain[s] == PartitionView::kUnbound) {
+          continue;
+        }
+        const bool was_inside = view.baseline_slot_domain[s] == d;
+        const bool is_inside = view.slot_domain[s] == d;
+        if (was_inside != is_inside) {
+          add_finding(findings, name(), LintSeverity::kError,
+                      "slot " + std::to_string(s) + " moved " +
+                          (was_inside ? "out of" : "into") +
+                          " stub domain " + std::to_string(d) +
+                          " while its partition window is open");
+        }
+      }
+      // (b) Cut closure: the crossing-edge count is non-increasing
+      // inside the window. Exchanges preserve it edge-for-edge and
+      // deliver()-gated repair never adds a crossing edge; only
+      // departures can shrink it.
+      if (view.baseline_graph == nullptr) continue;
+      const auto cut_size = [&](const SnapshotGraph& g,
+                                const std::vector<std::uint32_t>& dom) {
+        std::size_t crossing = 0;
+        for (const auto& e : g.edges) {
+          if (side(dom, e.first, d) != side(dom, e.second, d)) ++crossing;
+        }
+        return crossing;
+      };
+      const std::size_t before =
+          cut_size(*view.baseline_graph, view.baseline_slot_domain);
+      const std::size_t now = cut_size(*ctx.graph, view.slot_domain);
+      if (now > before) {
+        add_finding(findings, name(), LintSeverity::kError,
+                    "cut of stub domain " + std::to_string(d) + " grew from " +
+                        std::to_string(before) + " to " +
+                        std::to_string(now) +
+                        " crossing edge(s) inside an open partition window");
+      }
+    }
+  }
+};
+
+// ------------------------------------------------------ negotiation-locks
+class NegotiationLockRule final : public LintRule {
+ public:
+  std::string_view name() const override { return "negotiation-locks"; }
+  std::string_view description() const override {
+    return "two-phase negotiation locks are symmetric, distinct, held only "
+           "by active slots, and always owned by a pending release event "
+           "(no slot can be left locked after the event queue drains)";
+  }
+  bool applicable(const LintContext& ctx) const override {
+    return ctx.locks != nullptr;
+  }
+  void check(const LintContext& ctx,
+             std::vector<LintFinding>& findings) const override {
+    const NegotiationLockView& view = *ctx.locks;
+    const std::size_t n = view.peer.size();
+    for (SlotId u = 0; u < n; ++u) {
+      const SlotId v = view.peer[u];
+      if (v == kInvalidSlot) continue;
+      if (v == u) {
+        add_finding(findings, name(), LintSeverity::kError,
+                    "slot " + std::to_string(u) +
+                        " is negotiation-locked with itself");
+        continue;
+      }
+      if (v >= n || view.peer[v] != u) {
+        add_finding(findings, name(), LintSeverity::kError,
+                    "asymmetric negotiation lock: slot " + std::to_string(u) +
+                        " is locked with " + std::to_string(v) +
+                        " but not vice versa");
+        continue;
+      }
+      if (u < view.active.size() && !view.active[u]) {
+        add_finding(findings, name(), LintSeverity::kError,
+                    "inactive slot " + std::to_string(u) +
+                        " still holds a negotiation lock with " +
+                        std::to_string(v));
+      }
+      // Pair checks once, from the lower endpoint. The initiator's
+      // pending event (commit, retransmission or abort) is the only
+      // thing that ever releases a held lock besides node departure; a
+      // pair where neither endpoint owns one is orphaned forever.
+      if (u > v) continue;
+      const auto pending = [&](SlotId s) {
+        return s < view.has_pending.size() && view.has_pending[s];
+      };
+      if (!pending(u) && !pending(v)) {
+        add_finding(findings, name(), LintSeverity::kError,
+                    "negotiation lock " + std::to_string(u) + "—" +
+                        std::to_string(v) +
+                        " has no pending event on either endpoint; it can "
+                        "never be released");
+      }
+    }
+  }
+};
+
 }  // namespace
+
+std::vector<std::uint32_t> slot_domains_of(
+    const Placement& placement,
+    const std::vector<std::uint32_t>& host_domain) {
+  std::vector<std::uint32_t> out(placement.slot_capacity(),
+                                 PartitionView::kUnbound);
+  for (SlotId s = 0; s < placement.slot_capacity(); ++s) {
+    if (!placement.slot_bound(s)) continue;
+    const NodeId h = placement.host_of(s);
+    out[s] = h < host_domain.size() ? host_domain[h]
+                                    : PartitionView::kNoDomain;
+  }
+  return out;
+}
 
 LintRuleRegistry& LintRuleRegistry::instance() {
   static LintRuleRegistry registry;
@@ -591,6 +732,8 @@ void register_builtin_lint_rules() {
     reg.add(std::make_unique<PlacementBijectionRule>());
     reg.add(std::make_unique<ChordMonotonicityRule>());
     reg.add(std::make_unique<CanTilingRule>());
+    reg.add(std::make_unique<PartitionClosureRule>());
+    reg.add(std::make_unique<NegotiationLockRule>());
     return true;
   }();
   (void)once;

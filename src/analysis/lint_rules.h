@@ -55,6 +55,46 @@ SnapshotGraph snapshot_of(const Graph& graph);
 bool snapshot_from_edge_list(const std::string& text, SnapshotGraph& out,
                              std::string* error = nullptr);
 
+/// Fault-era view for the partition-closure rule: which stub domain each
+/// slot's bound host sits in, now and at the moment the current partition
+/// window opened. While a window is live the engines guarantee (a) no
+/// exchange moves a slot's host across the cut (every prepare/commit leg
+/// is deliver()-gated) and (b) no new slot edge crosses it — a PROP-O
+/// rewire a—u -> a—v preserves crossing status because u and v always sit
+/// on the same side. The rule checks exactly those two consequences.
+struct PartitionView {
+  /// Bound host is a backbone (transit) node: never inside a partition.
+  static constexpr std::uint32_t kNoDomain = static_cast<std::uint32_t>(-1);
+  /// Slot has no bound host (inactive / mid-churn).
+  static constexpr std::uint32_t kUnbound = static_cast<std::uint32_t>(-2);
+
+  std::vector<std::uint32_t> slot_domain;           // current
+  std::vector<std::uint32_t> baseline_slot_domain;  // at window entry
+  /// Snapshot taken when the live-domain set last changed (window entry);
+  /// the cut-size comparison runs against it. May be null (skipped then).
+  const SnapshotGraph* baseline_graph = nullptr;
+  /// Sorted stub domains whose partition window is open right now.
+  std::vector<std::uint32_t> live_domains;
+};
+
+/// Per-slot domain of the bound host: kUnbound for unbound slots,
+/// host_domain[h] (typically FaultInjector::host_domains()) otherwise.
+/// Hosts beyond host_domain.size() map to PartitionView::kNoDomain.
+std::vector<std::uint32_t> slot_domains_of(
+    const Placement& placement,
+    const std::vector<std::uint32_t>& host_domain);
+
+/// Two-phase negotiation lock state for the lock-audit rule. A locked
+/// pair must be symmetric, distinct, on active slots, and one endpoint
+/// (the initiator) must own a scheduled simulator event that eventually
+/// releases it — a lock with no pending event on either side is orphaned
+/// and would survive the event queue draining.
+struct NegotiationLockView {
+  std::vector<SlotId> peer;       // kInvalidSlot when idle
+  std::vector<bool> active;       // slot is active in the overlay
+  std::vector<bool> has_pending;  // engine owns a scheduled event for it
+};
+
 /// Everything a rule may inspect. All pointers optional; a rule declares
 /// itself inapplicable when its inputs are missing. `baseline` is the
 /// pre-run snapshot that conservation rules (degree multiset, PROP-G
@@ -66,6 +106,8 @@ struct LintContext {
   const Placement* baseline_placement = nullptr;
   const ChordRing* chord = nullptr;
   const CanSpace* can = nullptr;
+  const PartitionView* partition = nullptr;
+  const NegotiationLockView* locks = nullptr;
 };
 
 enum class LintSeverity { kWarning, kError };

@@ -5,6 +5,7 @@
 #include <initializer_list>
 #include <memory>
 
+#include "analysis/invariant_checker.h"
 #include "can/can_space.h"
 #include "chord/chord_ring.h"
 #include "core/prop_engine.h"
@@ -847,6 +848,17 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
     };
     traffic = std::make_unique<LookupTrafficProcess>(
         *net, sim, tparams, resolve, spec.seed + 109);
+  }
+
+  // Paranoid builds re-lint the live overlay as it runs (no-op
+  // otherwise). Degree conservation and partition closure assume stable
+  // membership, and LTM rewires degrees by design, so both disengage
+  // there; the fault-era rules activate exactly when their engines do.
+  if (paranoid_checks_enabled()) {
+    install_paranoid_audit(sim, *net, /*every_n_events=*/4096,
+                           /*churn_expected=*/membership_changes ||
+                               ltm != nullptr,
+                           ParanoidAuditHooks{faults.get(), prop.get()});
   }
 
   ConvergenceSampler sampler(sim, result.metric_name, 0.0, spec.horizon_s,

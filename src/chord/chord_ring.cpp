@@ -17,6 +17,7 @@ ChordRing::ChordRing(std::vector<ChordId> ids, const ChordConfig& config)
 ChordRing ChordRing::build_random(std::size_t slot_count,
                                   const ChordConfig& config, Rng& rng) {
   PROPSIM_CHECK(slot_count >= 2);
+  // det-ok(D1): duplicate-id probe only; ids are emitted via the vector
   std::unordered_set<ChordId> seen;
   std::vector<ChordId> ids;
   ids.reserve(slot_count);

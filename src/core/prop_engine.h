@@ -103,6 +103,22 @@ class PropEngine {
     observer_ = std::move(observer);
   }
 
+  /// Two-phase negotiation counterpart of `s`, kInvalidSlot when idle or
+  /// out of range. Lock-audit hook (analysis/invariant_checker.h).
+  SlotId negotiation_peer(SlotId s) const {
+    return s < state_.size() ? state_[s].peer : kInvalidSlot;
+  }
+
+  /// True when the engine owns a scheduled simulator event for `s` (next
+  /// probe, prepare retransmission or pending commit). Lock-audit hook.
+  bool has_pending_event(SlotId s) const {
+    return s < state_.size() && state_[s].pending != kInvalidEvent;
+  }
+
+  /// Slots the engine tracks state for (>= the graph's slot count once
+  /// started). Lock-audit hook.
+  std::size_t tracked_slots() const { return state_.size(); }
+
   /// Current probe timer of a slot (tests/benches).
   double timer_of(SlotId s) const;
   bool in_maintenance(SlotId s) const;

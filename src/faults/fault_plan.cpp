@@ -35,6 +35,18 @@ void FaultInjector::start() {
   }
 }
 
+std::vector<std::uint32_t> FaultInjector::live_partitions() const {
+  std::vector<std::uint32_t> live;
+  if (host_domain_.empty()) return live;  // windows can't drop anything
+  const double now = sim_.now();
+  for (const PartitionWindow& w : params_.partitions) {
+    if (now >= w.start_s && now < w.end_s) live.push_back(w.stub_domain);
+  }
+  std::sort(live.begin(), live.end());
+  live.erase(std::unique(live.begin(), live.end()), live.end());
+  return live;
+}
+
 bool FaultInjector::partitioned(NodeId a, NodeId b) const {
   if (params_.partitions.empty() || host_domain_.empty()) return false;
   if (a >= host_domain_.size() || b >= host_domain_.size()) return false;

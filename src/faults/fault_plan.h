@@ -101,6 +101,14 @@ class FaultInjector {
   void set_host_domains(std::vector<std::uint32_t> host_domain) {
     host_domain_ = std::move(host_domain);
   }
+  /// The map set above; empty until set_host_domains. Audit hook.
+  const std::vector<std::uint32_t>& host_domains() const {
+    return host_domain_;
+  }
+
+  /// Sorted, deduplicated stub domains whose partition window is open at
+  /// the simulator's current time (pure lookup, no RNG). Audit hook.
+  std::vector<std::uint32_t> live_partitions() const;
 
   /// Executes an injected crash; returns true when the victim actually
   /// went down (false e.g. when the population floor refused it).

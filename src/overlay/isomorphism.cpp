@@ -30,6 +30,7 @@ bool isomorphic_via(const std::vector<HostEdge>& before,
                     const std::vector<NodeId>& phi) {
   PROPSIM_CHECK(hosts.size() == phi.size());
   if (before.size() != after.size()) return false;
+  // det-ok(D1): keyed lookup while re-mapping edges; never iterated
   std::unordered_map<NodeId, NodeId> map;
   map.reserve(hosts.size());
   for (std::size_t i = 0; i < hosts.size(); ++i) {

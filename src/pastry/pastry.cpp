@@ -18,6 +18,7 @@ PastryNetwork PastryNetwork::build_random(std::size_t slot_count,
                                           const PastryConfig& config,
                                           Rng& rng) {
   PROPSIM_CHECK(slot_count >= 2);
+  // det-ok(D1): duplicate-id probe only; ids are emitted via the vector
   std::unordered_set<PastryId> seen;
   std::vector<PastryId> ids;
   ids.reserve(slot_count);

@@ -79,6 +79,7 @@ class Simulator {
   AuditHook audit_;
   std::uint64_t audit_interval_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  // det-ok(D1): looked up by EventId on pop/cancel only; never iterated
   std::unordered_map<EventId, Callback> callbacks_;
 };
 

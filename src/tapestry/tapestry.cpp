@@ -18,6 +18,7 @@ TapestryNetwork TapestryNetwork::build_random(std::size_t slot_count,
                                               const TapestryConfig& config,
                                               Rng& rng) {
   PROPSIM_CHECK(slot_count >= 2);
+  // det-ok(D1): duplicate-id probe only; ids are emitted via the vector
   std::unordered_set<TapestryId> seen;
   std::vector<TapestryId> ids;
   ids.reserve(slot_count);

@@ -115,6 +115,7 @@ class LatencyOracle {
       std::list<NodeId>::iterator lru_it;
     };
     mutable std::mutex mutex;
+    // det-ok(D1): keyed cache probe; eviction order comes from the list
     std::unordered_map<NodeId, Entry> rows;
     std::list<NodeId> lru;  // front = most recently used
   };

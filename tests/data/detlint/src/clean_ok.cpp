@@ -1,0 +1,11 @@
+// Fixture: must produce zero unsuppressed findings — the unordered set
+// is shielded by a well-formed marker.
+#include <unordered_set>
+
+bool seen_before(int key) {
+  static thread_local int calls = 0;
+  // det-ok(D1): membership probe only, never iterated
+  static std::unordered_set<int> seen;
+  ++calls;
+  return !seen.insert(key).second;
+}

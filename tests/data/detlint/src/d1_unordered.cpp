@@ -1,0 +1,9 @@
+// Fixture: D1 must flag unordered containers in src/.
+#include <cstdint>
+#include <unordered_map>
+
+int count_edges() {
+  std::unordered_map<std::uint64_t, int> edges;
+  edges[42] = 1;
+  return static_cast<int>(edges.size());
+}

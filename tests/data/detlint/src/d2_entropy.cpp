@@ -1,0 +1,13 @@
+// Fixture: D2 must flag every ambient-entropy source here.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned draw() {
+  std::srand(static_cast<unsigned>(time(nullptr)));
+  std::random_device rd;
+  auto t = std::chrono::system_clock::now();
+  (void)t;
+  return static_cast<unsigned>(rand()) + rd();
+}

@@ -1,0 +1,7 @@
+// Fixture: D3 must flag thread-id reads feeding logic.
+#include <functional>
+#include <thread>
+
+std::size_t shard() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id()) % 8;
+}

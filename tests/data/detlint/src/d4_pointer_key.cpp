@@ -1,0 +1,15 @@
+// Fixture: D4 must flag the pointer-keyed map; the id-keyed one is fine.
+#include <map>
+#include <string>
+
+struct Node {
+  int id = 0;
+};
+
+int lookup(Node* n) {
+  std::map<const Node*, int> by_addr;
+  std::map<int, std::string> by_id;
+  by_addr[n] = n->id;
+  by_id[n->id] = "ok";
+  return by_addr[n];
+}

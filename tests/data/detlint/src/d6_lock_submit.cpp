@@ -1,0 +1,22 @@
+// Fixture: D6 must flag submit() under a guard; the scoped variant that
+// releases before submitting must not fire.
+#include <mutex>
+
+struct Pool {
+  template <typename F>
+  void submit(F&&) {}
+};
+
+void bad(Pool& pool, std::mutex& m, int& shared) {
+  std::lock_guard<std::mutex> lock(m);
+  shared += 1;
+  pool.submit([] {});
+}
+
+void good(Pool& pool, std::mutex& m, int& shared) {
+  {
+    std::lock_guard<std::mutex> lock(m);
+    shared += 1;
+  }
+  pool.submit([] {});
+}

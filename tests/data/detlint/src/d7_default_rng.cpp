@@ -1,0 +1,13 @@
+// Fixture: D7 must flag default-constructed Rng locals and temporaries;
+// the explicitly seeded one is fine.
+struct Rng {
+  Rng() = default;
+  explicit Rng(unsigned long long seed) : state(seed) {}
+  unsigned long long state = 0x9e3779b97f4a7c15ull;
+};
+
+unsigned long long draw(unsigned long long seed) {
+  Rng unseeded;
+  Rng seeded(seed + 131);
+  return unseeded.state ^ seeded.state ^ Rng().state;
+}

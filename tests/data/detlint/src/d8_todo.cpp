@@ -1,0 +1,8 @@
+// Fixture: D8 must flag the determinism debt marker below but not the
+// unrelated one.
+int answer() {
+  // TODO: results depend on iteration order here, make deterministic
+  int x = 41;
+  // TODO: rename this variable
+  return x + 1;
+}

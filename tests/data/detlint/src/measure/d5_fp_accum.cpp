@@ -1,0 +1,19 @@
+// Fixture: D5 must flag FP accumulation over an unordered container in
+// src/measure/; the vector loop below must not fire.
+#include <unordered_map>
+#include <vector>
+
+double mean_latency() {
+  std::unordered_map<int, double> latency;
+  latency[1] = 0.5;
+  double sum = 0.0;
+  for (const auto& [id, value] : latency) {
+    sum += value;
+  }
+  std::vector<double> ordered{0.5};
+  double ok = 0.0;
+  for (double v : ordered) {
+    ok += v;
+  }
+  return sum + ok;
+}

@@ -1,0 +1,2 @@
+// Fixture: S1 must flag this header — no #pragma once.
+inline int seven() { return 7; }

@@ -1,0 +1,12 @@
+// Fixture: S2 must flag the parent-relative include, the libstdc++
+// internal header, and the duplicate. Includes sit in separate blocks
+// so the formatter leaves the crafted order alone.
+#include "../outside/helper.h"
+
+#include <bits/stdc++.h>
+
+#include <vector>
+
+#include <vector>
+
+int use() { return 3; }

@@ -1,0 +1,14 @@
+// Fixture: S3 must flag each malformed marker below.
+#include <unordered_set>
+
+int probe() {
+  // det-ok(D99): unknown rule id
+  std::unordered_set<int> a;
+  std::unordered_set<int> b;  // det-ok(D1):
+  // det-ok(D1) missing the colon entirely
+  std::unordered_set<int> c;
+  a.insert(1);
+  b.insert(2);
+  c.insert(3);
+  return static_cast<int>(a.count(1) + b.count(2) + c.count(3));
+}

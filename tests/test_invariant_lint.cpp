@@ -252,7 +252,8 @@ TEST(InvariantChecker, RegistryContainsCatalog) {
   for (const char* name :
        {"edge-range", "no-self-loops", "no-parallel-edges", "connectivity",
         "degree-conservation", "prop-g-isomorphism", "placement-bijection",
-        "chord-monotonicity", "can-tiling"}) {
+        "chord-monotonicity", "can-tiling", "partition-closure",
+        "negotiation-locks"}) {
     EXPECT_NE(reg.find(name), nullptr) << name;
   }
   EXPECT_EQ(reg.find("no-such-rule"), nullptr);
@@ -269,7 +270,8 @@ TEST(InvariantChecker, FullRunOverLiveOverlayPasses) {
   const InvariantChecker checker;  // every registered rule
   const LintReport report = checker.run(ctx);
   EXPECT_TRUE(report.passed()) << report.to_string();
-  EXPECT_EQ(report.rules_skipped, 2u);  // chord + can absent
+  // chord + can structures absent, partition + lock views not supplied.
+  EXPECT_EQ(report.rules_skipped, 4u);
 }
 
 TEST(InvariantChecker, PropGRunPreservesAllInvariants) {
@@ -319,6 +321,123 @@ TEST(InvariantChecker, ParanoidAuditMatchesBuildFlag) {
   }
   sim.run_all();
   EXPECT_EQ(sim.executed_events(), 8u);
+}
+
+// ------------------------------------------------------ fault-era rules
+
+TEST(LintRules, PartitionClosureAcceptsStableWindow) {
+  SnapshotGraph now = triangle();
+  SnapshotGraph before = triangle();
+  PartitionView view;
+  view.slot_domain = {1, 1, 0};
+  view.baseline_slot_domain = {1, 1, 0};
+  view.baseline_graph = &before;
+  view.live_domains = {1};
+  const LintContext ctx{.graph = &now, .partition = &view};
+  EXPECT_TRUE(run_rule("partition-closure", ctx).passed());
+}
+
+TEST(LintRules, PartitionClosureFlagsSideFlip) {
+  SnapshotGraph now = triangle();
+  PartitionView view;
+  view.slot_domain = {1, 0, 0};  // slot 1 left domain 1 mid-window
+  view.baseline_slot_domain = {1, 1, 0};
+  view.live_domains = {1};
+  const LintContext ctx{.graph = &now, .partition = &view};
+  const LintReport report = run_rule("partition-closure", ctx);
+  EXPECT_FALSE(report.passed());
+  EXPECT_NE(report.to_string().find("moved out of"), std::string::npos);
+}
+
+TEST(LintRules, PartitionClosureFlagsGrowingCut) {
+  // Baseline: one crossing edge (0-2); now: 1-2 appeared as well.
+  SnapshotGraph before;
+  before.node_count = 3;
+  before.edges = {{0, 1}, {0, 2}};
+  SnapshotGraph now;
+  now.node_count = 3;
+  now.edges = {{0, 1}, {0, 2}, {1, 2}};
+  PartitionView view;
+  view.slot_domain = {1, 1, 0};
+  view.baseline_slot_domain = {1, 1, 0};
+  view.baseline_graph = &before;
+  view.live_domains = {1};
+  const LintContext ctx{.graph = &now, .partition = &view};
+  const LintReport report = run_rule("partition-closure", ctx);
+  EXPECT_FALSE(report.passed());
+  EXPECT_NE(report.to_string().find("grew from 1 to 2"),
+            std::string::npos);
+}
+
+TEST(LintRules, PartitionClosureSkipsUnboundSlots) {
+  SnapshotGraph now = triangle();
+  PartitionView view;
+  view.slot_domain = {1, PartitionView::kUnbound, 0};
+  view.baseline_slot_domain = {1, 1, 0};
+  view.live_domains = {1};
+  const LintContext ctx{.graph = &now, .partition = &view};
+  EXPECT_TRUE(run_rule("partition-closure", ctx).passed());
+}
+
+TEST(LintRules, SlotDomainsOfTracksPlacement) {
+  Placement placement(3, 4);
+  placement.bind(0, 2);
+  placement.bind(2, 0);
+  const std::vector<std::uint32_t> host_domain = {7, 0, 9, 0};
+  const auto domains = slot_domains_of(placement, host_domain);
+  ASSERT_EQ(domains.size(), 3u);
+  EXPECT_EQ(domains[0], 9u);
+  EXPECT_EQ(domains[1], PartitionView::kUnbound);
+  EXPECT_EQ(domains[2], 7u);
+}
+
+TEST(LintRules, NegotiationLocksAcceptHealthyPair) {
+  NegotiationLockView view;
+  view.peer = {1, 0, kInvalidSlot};
+  view.active = {true, true, true};
+  view.has_pending = {true, false, false};  // initiator owns the release
+  const LintContext ctx{.locks = &view};
+  EXPECT_TRUE(run_rule("negotiation-locks", ctx).passed());
+}
+
+TEST(LintRules, NegotiationLocksFlagViolations) {
+  NegotiationLockView view;
+  view.peer = {0, 2, kInvalidSlot, 4, 3};
+  view.active = {true, true, true, false, true};
+  view.has_pending = {false, false, false, true, false};
+  const LintContext ctx{.locks = &view};
+  const LintReport report = run_rule("negotiation-locks", ctx);
+  EXPECT_FALSE(report.passed());
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("locked with itself"), std::string::npos);
+  EXPECT_NE(text.find("asymmetric"), std::string::npos);
+  EXPECT_NE(text.find("inactive slot 3"), std::string::npos);
+}
+
+TEST(LintRules, NegotiationLocksFlagOrphanedPair) {
+  NegotiationLockView view;
+  view.peer = {1, 0};
+  view.active = {true, true};
+  view.has_pending = {false, false};  // nobody owns a release event
+  const LintContext ctx{.locks = &view};
+  const LintReport report = run_rule("negotiation-locks", ctx);
+  EXPECT_FALSE(report.passed());
+  EXPECT_NE(report.to_string().find("never be released"),
+            std::string::npos);
+}
+
+TEST(LintRules, NegotiationLockViewMirrorsEngine) {
+  auto fx = testing::UnstructuredFixture::make(20, 4);
+  Simulator sim;
+  PropEngine prop(fx.net, sim, PropParams{}, /*seed=*/4);
+  const NegotiationLockView view =
+      negotiation_lock_view(prop, fx.net.graph());
+  ASSERT_GE(view.peer.size(), fx.net.graph().slot_count());
+  for (const SlotId p : view.peer) {
+    EXPECT_EQ(p, kInvalidSlot);  // idle engine holds no locks
+  }
+  const LintContext ctx{.locks = &view};
+  EXPECT_TRUE(run_rule("negotiation-locks", ctx).passed());
 }
 
 }  // namespace

@@ -1,0 +1,104 @@
+#include "detlint/report.h"
+
+#include <ostream>
+
+#include "common/json.h"
+
+namespace detlint {
+
+namespace {
+
+const char* severity_name(Severity s) {
+  return s == Severity::kError ? "error" : "warning";
+}
+
+}  // namespace
+
+int count_unsuppressed(const Report& report, Severity at_least) {
+  int n = 0;
+  for (const Finding& f : report.findings) {
+    if (!f.suppressed && f.severity >= at_least) ++n;
+  }
+  return n;
+}
+
+void render_text(const Report& report, std::ostream& os, bool quiet) {
+  for (const Finding& f : report.findings) {
+    if (f.suppressed && quiet) continue;
+    os << f.file << ":" << f.line << ": " << severity_name(f.severity)
+       << ": [" << f.rule << "/" << f.rule_name << "] " << f.message;
+    if (f.suppressed) os << " (suppressed: " << f.reason << ")";
+    os << "\n";
+    if (!f.suppressed && !f.hint.empty()) {
+      os << "    hint: " << f.hint << "\n";
+    }
+  }
+  if (!quiet) {
+    for (const Suppression& s : report.unused) {
+      os << "note: unused suppression for " << s.rule << " at " << s.file
+         << ":" << s.line << " (" << s.reason << ")\n";
+    }
+  }
+  const int errors = count_unsuppressed(report, Severity::kError);
+  const int warnings =
+      count_unsuppressed(report, Severity::kWarning) - errors;
+  os << report.files_scanned << " file(s) scanned, " << errors
+     << " error(s), " << warnings << " warning(s), "
+     << report.suppression_used << "/" << report.suppression_total
+     << " suppression(s) used\n";
+}
+
+std::string render_json(const Report& report) {
+  using propsim::Json;
+  Json doc = Json::object();
+  doc.set("schema", "propsim.lint");
+  doc.set("version", 1);
+  doc.set("files_scanned", report.files_scanned);
+
+  Json findings = Json::array();
+  for (const Finding& f : report.findings) {
+    Json j = Json::object();
+    j.set("rule", f.rule);
+    j.set("name", f.rule_name);
+    j.set("severity", severity_name(f.severity));
+    j.set("file", f.file);
+    j.set("line", f.line);
+    j.set("message", f.message);
+    j.set("hint", f.hint);
+    j.set("suppressed", f.suppressed);
+    if (f.suppressed) j.set("reason", f.reason);
+    findings.push_back(std::move(j));
+  }
+  doc.set("findings", std::move(findings));
+
+  Json unused = Json::array();
+  for (const Suppression& s : report.unused) {
+    Json j = Json::object();
+    j.set("rule", s.rule);
+    j.set("file", s.file);
+    j.set("line", s.line);
+    j.set("reason", s.reason);
+    unused.push_back(std::move(j));
+  }
+  Json suppressions = Json::object();
+  suppressions.set("total", report.suppression_total);
+  suppressions.set("used", report.suppression_used);
+  suppressions.set("unused", std::move(unused));
+  doc.set("suppressions", std::move(suppressions));
+
+  int suppressed = 0;
+  for (const Finding& f : report.findings) {
+    if (f.suppressed) ++suppressed;
+  }
+  Json summary = Json::object();
+  summary.set("total", static_cast<int>(report.findings.size()));
+  summary.set("suppressed", suppressed);
+  summary.set("unsuppressed",
+              static_cast<int>(report.findings.size()) - suppressed);
+  summary.set("errors", count_unsuppressed(report, Severity::kError));
+  doc.set("summary", std::move(summary));
+
+  return doc.dump(2) + "\n";
+}
+
+}  // namespace detlint

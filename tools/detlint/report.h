@@ -1,0 +1,34 @@
+// Finding rendering: human-readable text and the propsim.lint v1 JSON
+// stream. The JSON mirrors the propsim.trace pattern — a schema tag and
+// integer version first, then content — so downstream tooling can
+// dispatch without sniffing.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "detlint/rules.h"
+
+namespace detlint {
+
+struct Report {
+  std::vector<Finding> findings;        // file order, rule order within
+  std::vector<Suppression> unused;      // markers that shielded nothing
+  int files_scanned = 0;
+  int suppression_total = 0;
+  int suppression_used = 0;
+};
+
+/// Unsuppressed findings at the given severity or above.
+int count_unsuppressed(const Report& report, Severity at_least);
+
+/// One line per finding (file:line: severity: [id/name] message, hint on
+/// a continuation line) plus a summary footer. `quiet` drops suppressed
+/// findings and the unused-marker notes.
+void render_text(const Report& report, std::ostream& os, bool quiet);
+
+/// Serializes the report as a propsim.lint version-1 document.
+std::string render_json(const Report& report);
+
+}  // namespace detlint

@@ -1,0 +1,236 @@
+#include "detlint/scanner.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace detlint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Multi-char operators, longest first so greedy matching is correct.
+const char* const kOps[] = {
+    "<<=", ">>=", "...", "->*", "<=>", "::", "->", "++", "--", "<<",
+    ">>",  "<=",  ">=",  "==",  "!=",  "&&", "||", "+=", "-=", "*=",
+    "/=",  "%=",  "&=",  "|=",  "^=",  ".*",
+};
+
+}  // namespace
+
+bool is_source_path(const std::string& path) {
+  return ends_with(path, ".h") || ends_with(path, ".hpp") ||
+         ends_with(path, ".hh") || ends_with(path, ".cpp") ||
+         ends_with(path, ".cc") || ends_with(path, ".cxx");
+}
+
+FileScan scan_source(const std::string& path, const std::string& text) {
+  FileScan out;
+  out.path = path;
+  out.is_header = ends_with(path, ".h") || ends_with(path, ".hpp") ||
+                  ends_with(path, ".hh");
+
+  const std::size_t n = text.size();
+  std::size_t i = 0;
+  int line = 1;
+  // True until a token (or a trailing comment) was seen on this line;
+  // decides Comment::own_line and directive detection.
+  bool line_blank = true;
+
+  // Consumes a quoted literal at `i` (which must point at the quote);
+  // appends to `t.text` and advances past the closing quote.
+  const auto lex_quoted = [&](Token& t, char quote) {
+    t.text += text[i++];
+    while (i < n && text[i] != quote && text[i] != '\n') {
+      if (text[i] == '\\' && i + 1 < n) t.text += text[i++];
+      t.text += text[i++];
+    }
+    if (i < n && text[i] == quote) t.text += text[i++];
+  };
+
+  // Consumes a raw string body at `i` (pointing at the '"' after R);
+  // returns false when the delimiter is malformed.
+  const auto lex_raw = [&](Token& t) {
+    std::size_t d = i + 1;
+    std::string delim;
+    while (d < n && text[d] != '(' && text[d] != ')' && text[d] != '"' &&
+           text[d] != '\\' && text[d] != '\n' && delim.size() < 16) {
+      delim += text[d++];
+    }
+    if (d >= n || text[d] != '(') return false;
+    const std::string closer = ")" + delim + "\"";
+    std::size_t end = text.find(closer, d + 1);
+    end = end == std::string::npos ? n : end + closer.size();
+    for (std::size_t k = i; k < end; ++k) {
+      if (text[k] == '\n') ++line;
+    }
+    t.text.append(text, i, end - i);
+    i = end;
+    return true;
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      line_blank = true;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+
+    // Preprocessor directive: first black ink on the line is '#'.
+    if (c == '#' && line_blank) {
+      Directive d;
+      d.line = line;
+      while (i < n && text[i] != '\n') {
+        if (text[i] == '\\' && i + 1 < n && text[i + 1] == '\n') {
+          d.text += ' ';
+          i += 2;
+          ++line;
+          continue;
+        }
+        d.text += text[i];
+        ++i;
+      }
+      out.directives.push_back(std::move(d));
+      line_blank = false;
+      continue;
+    }
+
+    // Comments.
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      Comment cm;
+      cm.line = line;
+      cm.end_line = line;
+      cm.own_line = line_blank;
+      i += 2;
+      while (i < n && text[i] != '\n') cm.text += text[i++];
+      out.comments.push_back(std::move(cm));
+      line_blank = false;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      Comment cm;
+      cm.line = line;
+      cm.own_line = line_blank;
+      i += 2;
+      while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) {
+        if (text[i] == '\n') ++line;
+        cm.text += text[i++];
+      }
+      i = i + 1 < n ? i + 2 : n;
+      cm.end_line = line;
+      out.comments.push_back(std::move(cm));
+      line_blank = false;
+      continue;
+    }
+
+    line_blank = false;
+
+    if (ident_start(c)) {
+      Token t;
+      t.kind = TokKind::kIdent;
+      t.line = line;
+      while (i < n && ident_char(text[i])) t.text += text[i++];
+      // Literal prefixes glue onto the literal (u8"x", LR"(x)", ...).
+      const bool raw_prefix = t.text == "R" || t.text == "uR" ||
+                              t.text == "u8R" || t.text == "UR" ||
+                              t.text == "LR";
+      const bool str_prefix = t.text == "u" || t.text == "u8" ||
+                              t.text == "U" || t.text == "L";
+      if (i < n && text[i] == '"' && raw_prefix) {
+        t.kind = TokKind::kString;
+        if (!lex_raw(t)) lex_quoted(t, '"');
+        out.tokens.push_back(std::move(t));
+        continue;
+      }
+      if (i < n && text[i] == '"' && str_prefix) {
+        t.kind = TokKind::kString;
+        lex_quoted(t, '"');
+        out.tokens.push_back(std::move(t));
+        continue;
+      }
+      if (i < n && text[i] == '\'' && str_prefix) {
+        t.kind = TokKind::kChar;
+        lex_quoted(t, '\'');
+        out.tokens.push_back(std::move(t));
+        continue;
+      }
+      out.tokens.push_back(std::move(t));
+      continue;
+    }
+
+    if (c == '"') {
+      Token t;
+      t.kind = TokKind::kString;
+      t.line = line;
+      lex_quoted(t, '"');
+      out.tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == '\'') {
+      Token t;
+      t.kind = TokKind::kChar;
+      t.line = line;
+      lex_quoted(t, '\'');
+      out.tokens.push_back(std::move(t));
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      Token t;
+      t.kind = TokKind::kNumber;
+      t.line = line;
+      // pp-number shape: alnum, dots, digit separators, exponent signs.
+      while (i < n &&
+             (ident_char(text[i]) || text[i] == '.' || text[i] == '\'')) {
+        t.text += text[i];
+        if ((text[i] == 'e' || text[i] == 'E' || text[i] == 'p' ||
+             text[i] == 'P') &&
+            i + 1 < n && (text[i + 1] == '+' || text[i + 1] == '-')) {
+          t.text += text[++i];
+        }
+        ++i;
+      }
+      out.tokens.push_back(std::move(t));
+      continue;
+    }
+
+    // Punctuation: greedy multi-char match.
+    Token t;
+    t.kind = TokKind::kPunct;
+    t.line = line;
+    t.text = std::string(1, c);
+    for (const char* op : kOps) {
+      const std::size_t len = std::char_traits<char>::length(op);
+      if (text.compare(i, len, op) == 0) {
+        t.text = op;
+        break;
+      }
+    }
+    i += t.text.size();
+    out.tokens.push_back(std::move(t));
+  }
+
+  out.line_count = line;
+  return out;
+}
+
+}  // namespace detlint

@@ -1,0 +1,59 @@
+// Lightweight C++ lexer for detlint.
+//
+// detlint's rules are token-sequence and comment patterns, not semantic
+// analysis, so a few hundred lines of hand-rolled lexing replace a clang
+// dependency and run everywhere CI does. The scanner understands exactly
+// enough C++: line tracking, string/char literals (raw strings included),
+// `//` and `/* */` comments, preprocessor lines (with backslash
+// continuation), multi-char operators, identifiers and numbers. It never
+// fails: unexpected bytes become single-char punctuation tokens.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace detlint {
+
+enum class TokKind {
+  kIdent,   // identifiers and keywords
+  kNumber,  // numeric literals (pp-number shape)
+  kString,  // "..." and R"(...)" with prefixes
+  kChar,    // '...'
+  kPunct,   // operators and punctuation, multi-char ops combined
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  int line = 0;
+};
+
+struct Comment {
+  std::string text;  // without the // or /* */ markers
+  int line = 0;      // line the comment starts on
+  int end_line = 0;  // line the comment ends on (== line for //)
+  bool own_line = false;  // only whitespace precedes it on its line
+};
+
+struct Directive {
+  std::string text;  // full directive, '#' included, continuations joined
+  int line = 0;
+};
+
+struct FileScan {
+  std::string path;  // as given (detlint passes root-relative paths)
+  bool is_header = false;
+  int line_count = 0;
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  std::vector<Directive> directives;
+};
+
+/// True for extensions detlint scans (.h .hpp .hh .cpp .cc .cxx).
+bool is_source_path(const std::string& path);
+
+/// Lexes `text` as C++ source. `path` is recorded verbatim and decides
+/// is_header; use forward slashes so rule path scopes match.
+FileScan scan_source(const std::string& path, const std::string& text);
+
+}  // namespace detlint
