@@ -1,0 +1,321 @@
+// simcore_scaling — scheduler-core scaling bench (not a paper figure).
+//
+// Measures the domain-sharded scheduler on a transit-stub event workload
+// at shard counts 1/2/4/8 over one physical topology. Full scale builds
+// an n >= 1M transit-stub network (25 transit domains x 5 transit nodes,
+// 4 x 2000-node stub domains per transit node = 1,000,125 nodes / 500
+// stub domains) and drives ~5M events through it per run: one
+// self-rescheduling event chain per stub domain, each owning its own
+// Rng, pinned to its domain's shard, with a 10% chance per hop of
+// pinning the next event to a random other domain (cross-shard handoff
+// traffic) and a 5% chance of a zero-delay hop (equal-time FIFO
+// pressure).
+//
+// Every run folds (chain id, sequence number, sim clock bits) into an
+// FNV-1a checksum *in execution order*. The sharded core's contract is
+// bit-identical execution at any shard count, so all four checksums
+// must match the serial run exactly — the bench exits non-zero if they
+// do not. Wall-clock, resident memory, and event throughput go to
+// stdout and to BENCH_simcore.json (stable schema
+// `propsim.bench.simcore`, version 1; the checksum is emitted as a hex
+// string so baseline comparison treats it as schema, not as a drifting
+// numeric).
+//
+// `--quick` shrinks to 120,024 nodes / 120 stub domains and ~300k
+// events per run so the bench fits in CI time.
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/json.h"
+#include "sim/serial_scheduler.h"
+#include "sim/sharded_scheduler.h"
+#include "topology/transit_stub.h"
+
+namespace propsim::bench {
+namespace {
+
+double now_ms() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double, std::milli>(
+             clock::now().time_since_epoch())
+      .count();
+}
+
+/// Peak resident set of this process so far, in MiB (ru_maxrss is KiB on
+/// Linux).
+double peak_rss_mb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+/// Current resident set in MiB via /proc/self/statm (Linux); 0 if
+/// unreadable.
+double current_rss_mb() {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0.0;
+  long pages = 0, resident = 0;
+  const int got = std::fscanf(f, "%ld %ld", &pages, &resident);
+  std::fclose(f);
+  if (got != 2) return 0.0;
+  const long page_kb = sysconf(_SC_PAGESIZE) / 1024;
+  return static_cast<double>(resident * page_kb) / 1024.0;
+}
+
+struct SimScale {
+  std::size_t transit_domains;
+  std::size_t transit_nodes_per_domain;
+  std::size_t stub_domains_per_transit;
+  std::size_t nodes_per_stub;
+  double stub_edge_probability;  // scaled down so edges stay O(nodes)
+  std::uint64_t events_per_domain;
+};
+
+TransitStubConfig scaled_config(const SimScale& scale) {
+  TransitStubConfig config = TransitStubConfig::ts_large();
+  config.transit_domains = scale.transit_domains;
+  config.transit_nodes_per_domain = scale.transit_nodes_per_domain;
+  config.stub_domains_per_transit = scale.stub_domains_per_transit;
+  config.nodes_per_stub = scale.nodes_per_stub;
+  config.stub_edge_probability = scale.stub_edge_probability;
+  return config;
+}
+
+/// One self-rescheduling event chain bound to a stub domain. The chain
+/// object (and its Rng) stays put; "hopping" only changes which shard
+/// the next event is pinned to, so cross-domain hops become cross-shard
+/// handoff traffic without perturbing the RNG stream.
+class SimWorkload {
+ public:
+  SimWorkload(Scheduler& sim, std::size_t domains, std::uint64_t seed,
+              std::uint64_t events_per_domain)
+      : sim_(sim), domains_(domains) {
+    chains_.reserve(domains);
+    for (std::size_t d = 0; d < domains; ++d) {
+      chains_.push_back(Chain{
+          Rng(seed + 0x9e3779b97f4a7c15ULL * (d + 1)),
+          static_cast<std::uint32_t>(d), events_per_domain, 0});
+    }
+  }
+
+  void start() {
+    for (Chain& chain : chains_) schedule_next(chain);
+  }
+
+  std::uint64_t checksum() const { return checksum_; }
+  std::uint64_t fired() const { return fired_; }
+
+ private:
+  struct Chain {
+    Rng rng;
+    std::uint32_t id;
+    std::uint64_t remaining;
+    std::uint64_t seq;
+  };
+
+  void schedule_next(Chain& chain) {
+    if (chain.remaining == 0) return;
+    --chain.remaining;
+    // Mostly stay home; sometimes pin the next hop to another domain's
+    // shard so the window machinery sees real handoff traffic.
+    const std::uint32_t target =
+        chain.rng.bernoulli(0.1)
+            ? static_cast<std::uint32_t>(chain.rng.uniform(domains_))
+            : chain.id;
+    const double delay = chain.rng.bernoulli(0.05)
+                             ? 0.0
+                             : chain.rng.uniform_double(0.0005, 0.5);
+    Chain* c = &chain;  // chains_ never reallocates after construction
+    sim_.schedule_in(delay, sim_.shard_of(target), [this, c] { fire(*c); });
+  }
+
+  void fire(Chain& chain) {
+    ++fired_;
+    mix(chain.id);
+    mix(chain.seq++);
+    mix(std::bit_cast<std::uint64_t>(sim_.now()));
+    schedule_next(chain);
+  }
+
+  void mix(std::uint64_t v) {
+    // FNV-1a over the value's bytes; order-sensitive, so equal checksums
+    // mean equal execution order, clocks included.
+    for (int b = 0; b < 8; ++b) {
+      checksum_ ^= (v >> (8 * b)) & 0xFF;
+      checksum_ *= 1099511628211ULL;
+    }
+  }
+
+  Scheduler& sim_;
+  std::size_t domains_;
+  std::vector<Chain> chains_;
+  std::uint64_t checksum_ = 14695981039346656037ULL;
+  std::uint64_t fired_ = 0;
+};
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+struct RunResult {
+  std::size_t shards = 0;
+  std::uint64_t events = 0;
+  double wall_ms = 0.0;
+  double throughput = 0.0;  // events per second
+  double rss_mb = 0.0;
+  std::uint64_t checksum = 0;
+};
+
+RunResult run_one(std::size_t shards, double window_s, std::size_t domains,
+                  std::uint64_t seed, std::uint64_t events_per_domain) {
+  std::unique_ptr<Scheduler> sim_owner;
+  if (shards > 1) {
+    sim_owner = std::make_unique<ShardedScheduler>(shards, window_s);
+  } else {
+    sim_owner = std::make_unique<SerialScheduler>();
+  }
+  Scheduler& sim = *sim_owner;
+
+  // Slot namespace here is the stub-domain index itself: chain d pins to
+  // shard d % shards, matching the app's domain-major assignment.
+  std::vector<ShardId> map(domains);
+  for (std::size_t d = 0; d < domains; ++d) {
+    map[d] = static_cast<ShardId>(d % std::max<std::size_t>(shards, 1));
+  }
+  sim.set_shard_map(std::move(map));
+
+  SimWorkload workload(sim, domains, seed, events_per_domain);
+  const double start = now_ms();
+  workload.start();
+  sim.run_until(1e12);
+
+  RunResult r;
+  r.shards = shards;
+  r.events = workload.fired();
+  r.wall_ms = now_ms() - start;
+  r.throughput =
+      r.wall_ms > 0.0
+          ? 1000.0 * static_cast<double>(r.events) / r.wall_ms
+          : 0.0;
+  r.rss_mb = current_rss_mb();
+  r.checksum = workload.checksum();
+  return r;
+}
+
+int run(const BenchOptions& opts) {
+  // Full: 25*5*(1 + 4*2000) = 1,000,125 nodes / 500 stub domains, 5M
+  // events per run. Quick: 6*4*(1 + 5*1000) = 120,024 nodes / 120 stub
+  // domains, 300k events per run.
+  const SimScale scale =
+      opts.quick ? SimScale{6, 4, 5, 1000, 0.005, 2500}
+                 : SimScale{25, 5, 4, 2000, 0.002, 10000};
+  const TransitStubConfig config = scaled_config(scale);
+
+  print_header(
+      "simcore_scaling: domain-sharded scheduler at 1/2/4/8 shards",
+      "sharded execution is bit-identical to serial at every shard count");
+
+  std::printf("building transit-stub topology: %zu nodes, %zu stub "
+              "domains\n",
+              config.total_nodes(),
+              config.transit_domains * config.transit_nodes_per_domain *
+                  config.stub_domains_per_transit);
+  Rng rng(opts.seed + 211);
+  const double build_start = now_ms();
+  const TransitStubTopology topo = make_transit_stub(config, rng);
+  const double build_ms = now_ms() - build_start;
+  std::printf("built in %.0f ms (%zu edges, rss %.1f MiB)\n", build_ms,
+              topo.graph.edge_count(), current_rss_mb());
+
+  const std::size_t domains = topo.stub_domain_count;
+  const double window_s = ShardedScheduler::kDefaultWindowS;
+  const std::size_t shard_counts[] = {1, 2, 4, 8};
+
+  Json doc = Json::object();
+  doc.set("schema", "propsim.bench.simcore");
+  doc.set("version", 1);
+  doc.set("quick", opts.quick);
+  doc.set("seed", opts.seed);
+  doc.set("cores",
+          static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+  doc.set("window_s", window_s);
+
+  Json topology = Json::object();
+  topology.set("nodes", static_cast<std::uint64_t>(config.total_nodes()))
+      .set("stub_domains", static_cast<std::uint64_t>(domains))
+      .set("edges", static_cast<std::uint64_t>(topo.graph.edge_count()))
+      .set("build_ms", build_ms);
+  doc.set("topology", std::move(topology));
+
+  Json rows = Json::array();
+  bool bit_identical = true;
+  std::uint64_t serial_checksum = 0;
+  std::uint64_t serial_events = 0;
+  for (const std::size_t shards : shard_counts) {
+    const RunResult r = run_one(shards, window_s, domains, opts.seed,
+                                scale.events_per_domain);
+    if (shards == 1) {
+      serial_checksum = r.checksum;
+      serial_events = r.events;
+    } else {
+      bit_identical = bit_identical && r.checksum == serial_checksum &&
+                      r.events == serial_events;
+    }
+    std::printf("  shards %zu: %llu events in %.0f ms (%.0f events/s, "
+                "rss %.1f MiB, checksum %s)\n",
+                shards, static_cast<unsigned long long>(r.events),
+                r.wall_ms, r.throughput, r.rss_mb,
+                hex64(r.checksum).c_str());
+    Json row = Json::object();
+    row.set("shards", static_cast<std::uint64_t>(r.shards))
+        .set("events", r.events)
+        .set("wall_ms", r.wall_ms)
+        .set("throughput", r.throughput)
+        .set("rss_mb", r.rss_mb)
+        .set("checksum", hex64(r.checksum));
+    rows.push_back(std::move(row));
+  }
+  doc.set("runs", std::move(rows));
+  doc.set("bit_identical", bit_identical);
+  doc.set("peak_rss_mb", peak_rss_mb());
+
+  const std::string out = doc.dump(2);
+  if (std::FILE* f = std::fopen("BENCH_simcore.json", "w")) {
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote BENCH_simcore.json (peak rss %.1f MiB)\n",
+                peak_rss_mb());
+  } else {
+    std::fprintf(stderr, "could not write BENCH_simcore.json\n");
+    return 1;
+  }
+
+  print_verdict(bit_identical,
+                bit_identical
+                    ? "all shard counts replayed the serial checksum"
+                    : "checksum mismatch: sharded execution diverged");
+  return bit_identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace propsim::bench
+
+int main(int argc, char** argv) {
+  const auto opts = propsim::bench::parse_options(argc, argv);
+  return propsim::bench::run(opts);
+}

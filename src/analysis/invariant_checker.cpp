@@ -98,7 +98,7 @@ struct PartitionAuditState {
 
 }  // namespace
 
-bool install_paranoid_audit(Simulator& sim, const OverlayNetwork& net,
+bool install_paranoid_audit(Scheduler& sim, const OverlayNetwork& net,
                             std::uint64_t every_n_events,
                             bool churn_expected, ParanoidAuditHooks hooks) {
   if (!paranoid_checks_enabled()) return false;
@@ -118,7 +118,7 @@ bool install_paranoid_audit(Simulator& sim, const OverlayNetwork& net,
   auto pstate = std::make_shared<PartitionAuditState>();
   sim.set_audit(
       [checker, baseline, pstate, &net, hooks,
-       audit_partitions](const Simulator& s) {
+       audit_partitions](const Scheduler& s) {
         const SnapshotGraph snap = snapshot_of(net.graph());
         LintContext ctx;
         ctx.graph = &snap;

@@ -13,7 +13,7 @@
 
 #include "analysis/lint_rules.h"
 #include "overlay/overlay_network.h"
-#include "sim/simulator.h"
+#include "sim/scheduler.h"
 
 namespace propsim {
 
@@ -83,7 +83,7 @@ NegotiationLockView negotiation_lock_view(const PropEngine& prop,
 /// multiset, and un-gated join/stitch edges may cross an open cut).
 /// `net` and `sim` must outlive the simulation. No-op (and returns
 /// false) unless the library was built with PROPSIM_PARANOID.
-bool install_paranoid_audit(Simulator& sim, const OverlayNetwork& net,
+bool install_paranoid_audit(Scheduler& sim, const OverlayNetwork& net,
                             std::uint64_t every_n_events = 4096,
                             bool churn_expected = false,
                             ParanoidAuditHooks hooks = {});

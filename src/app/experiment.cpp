@@ -4,6 +4,7 @@
 #include <functional>
 #include <initializer_list>
 #include <memory>
+#include <thread>
 
 #include "analysis/invariant_checker.h"
 #include "can/can_space.h"
@@ -14,7 +15,8 @@
 #include "metrics/convergence.h"
 #include "metrics/metrics.h"
 #include "pastry/pastry.h"
-#include "sim/simulator.h"
+#include "sim/serial_scheduler.h"
+#include "sim/sharded_scheduler.h"
 #include "tapestry/tapestry.h"
 #include "topology/random_graphs.h"
 #include "topology/transit_stub.h"
@@ -38,6 +40,7 @@ constexpr const char* kKnownKeys[] = {
     "fraction_fast_dest", "churn_join_rate", "churn_leave_rate",
     "churn_fail_rate", "churn_start",       "churn_end",
     "oracle",          "oracle_cache_rows", "measure_threads",
+    "sim_shards",      "shard_window",
     "trace",
     "trace_buffer",    "fault_loss",        "fault_jitter",
     "fault_crash",     "fault_max_retries", "fault_partition_domain",
@@ -356,6 +359,46 @@ SpecResult ExperimentSpec::from_config(const Config& config) {
     }
   }
 
+  if (config.has("sim_shards")) {
+    const std::string ss = config.get_string("sim_shards", "");
+    if (ss == "auto") {
+      spec.sim_shards = kSimShardsAuto;
+    } else {
+      const std::int64_t v = p.get_int("sim_shards", 1);
+      if (v < 0 || v > static_cast<std::int64_t>(sim::ShardedScheduler::kMaxShards)) {
+        p.error("sim_shards", "must be in [0, 64] or 'auto'",
+                "0 and 1 both mean the serial scheduler");
+      } else {
+        spec.sim_shards = static_cast<std::size_t>(v);
+      }
+    }
+  }
+  const bool sharded =
+      spec.sim_shards == kSimShardsAuto || spec.sim_shards > 1;
+  spec.shard_window_s = p.get_double("shard_window", 0.25);
+  if (spec.shard_window_s <= 0.0) {
+    p.error("shard_window", "must be > 0 (simulated seconds)");
+    spec.shard_window_s = 0.25;
+  }
+  if (config.has("shard_window") && !sharded) {
+    p.error("shard_window",
+            "only meaningful together with a sharded event core",
+            "set sim_shards = auto or a shard count > 1");
+  }
+  if (sharded && spec.topology == Topology::kWaxman) {
+    p.error("sim_shards",
+            "event-core sharding decomposes by stub domain and requires "
+            "a transit-stub topology",
+            "use topology = ts-large | ts-small, or sim_shards = 1");
+  }
+  if (spec.sim_shards == kSimShardsAuto &&
+      spec.measure_threads == kMeasureThreadsAuto) {
+    p.error("sim_shards",
+            "sim_shards = auto and measure_threads = auto together would "
+            "both claim every hardware thread",
+            "give at least one of them an explicit count");
+  }
+
   spec.trace_path = config.get_string("trace", "");
   if (!spec.trace_path.empty() && !obs::trace_compiled_in()) {
     p.error("trace", "trace output requires a PROPSIM_TRACE=ON build",
@@ -497,6 +540,11 @@ ExperimentResult::counters() const {
       {"fault_losses", fault_losses},
       {"fault_partition_drops", fault_partition_drops},
       {"fault_crashes", fault_crashes},
+      // v4: scheduler counters — invariant across sim_shards, so a
+      // sharded run's counters stay byte-identical to the serial run's.
+      {"sim_events_executed", sim_events_executed},
+      {"sim_events_scheduled", sim_events_scheduled},
+      {"sim_events_cancelled", sim_events_cancelled},
   };
 }
 
@@ -549,7 +597,27 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   // engine reaches the bus through the overlay. The bus is created
   // unconditionally: its counters never touch the RNG or the event
   // queue, so results are identical with and without a trace sink. ---
-  Simulator sim;
+  // sim_shards is a pure execution knob like measure_threads: the
+  // sharded core executes the identical event sequence (golden-tested at
+  // 1/2/4/8 shards), so neither the shard count nor the window is echoed
+  // into the result JSON.
+  std::size_t sim_shards = spec.sim_shards;
+  if (sim_shards == ExperimentSpec::kSimShardsAuto) {
+    const std::size_t hw = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::thread::hardware_concurrency()));
+    const std::size_t domains =
+        ts ? std::max<std::size_t>(ts->stub_domain_count, 1) : 1;
+    sim_shards =
+        std::min({domains, hw, sim::ShardedScheduler::kMaxShards});
+  }
+  std::unique_ptr<Scheduler> sim_owner;
+  if (sim_shards > 1) {
+    sim_owner =
+        std::make_unique<ShardedScheduler>(sim_shards, spec.shard_window_s);
+  } else {
+    sim_owner = std::make_unique<SerialScheduler>();
+  }
+  Scheduler& sim = *sim_owner;
   obs::EventBus bus;
   bus.set_clock([&sim] { return sim.now(); });
   if (spec.protocol == ExperimentSpec::Protocol::kPropG ||
@@ -647,6 +715,22 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
       net = std::make_unique<OverlayNetwork>(
           make_can_overlay(*can, hosts, oracle, &bus));
       break;
+  }
+
+  // Slot -> shard affinity from the initial placement: slot events run
+  // on the shard owning their host's stub domain. A pure routing hint —
+  // churn rebinding a slot to another domain later only costs locality,
+  // never correctness (cross-shard events ride the handoff buffers).
+  if (sim.shard_count() > 1 && ts != nullptr) {
+    std::vector<ShardId> slot_shard(net->graph().slot_count(), kNoShard);
+    for (SlotId s = 0; s < net->graph().slot_count(); ++s) {
+      const NodeId h = net->placement().host_of(s);
+      if (h < ts->kind.size() && ts->kind[h] == NodeKind::kStub) {
+        slot_shard[s] = static_cast<ShardId>(
+            ts->domain[h] % sim.shard_count());
+      }
+    }
+    sim.set_shard_map(std::move(slot_shard));
   }
 
   // --- Heterogeneity (processing delays follow hosts). ---
@@ -793,8 +877,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
                                            spec.seed + 107);
     if (faults) churn->set_faults(faults.get());
     if (fault_crashes_on) {
-      faults->set_crash_executor(
-          [c = churn.get()](SlotId victim) { return c->fail_slot(victim); });
+      faults->set_failure_executor(churn.get());
     }
   }
 
@@ -897,6 +980,9 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
     }
   }
   if (ltm) result.ltm_rounds = ltm->rounds();
+  result.sim_events_executed = sim.executed_events();
+  result.sim_events_scheduled = sim.scheduled_events();
+  result.sim_events_cancelled = sim.cancelled_events();
   result.control_messages = net->traffic().control_total();
   if (churn) {
     result.churn_joins = churn->joins();

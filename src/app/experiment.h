@@ -29,6 +29,12 @@
 //   measure_threads = auto | <int>   (metric-sweep worker threads;
 //                          0/1 = serial, results bit-identical for any
 //                          value)
+//   sim_shards = auto | <int>   (event-core shards; 0/1 = serial
+//                          scheduler, auto = one per stub domain capped
+//                          at hardware threads, results bit-identical
+//                          for any value)
+//   shard_window = <seconds>    (lock-step window between shard
+//                          barriers; requires sim_shards)
 //   trace      = <path>   (stream propsim.trace v1 JSONL; requires a
 //                          PROPSIM_TRACE=ON build)
 //   trace_buffer = <int>  (sink ring-buffer capacity, default 8192)
@@ -115,6 +121,19 @@ struct ExperimentSpec {
       static_cast<std::size_t>(-1);
   std::size_t measure_threads = 1;
 
+  /// Event-core shards for the discrete-event scheduler: 0 or 1 =
+  /// SerialScheduler, N > 1 = ShardedScheduler with N event heaps,
+  /// kSimShardsAuto = one shard per stub domain capped at hardware
+  /// threads (requires a transit-stub topology). Like measure_threads a
+  /// pure execution knob: the executed event sequence — and therefore
+  /// the result JSON — is bit-identical at any shard count, so neither
+  /// key is echoed into the result.
+  static constexpr std::size_t kSimShardsAuto = static_cast<std::size_t>(-1);
+  std::size_t sim_shards = 1;
+  /// Conservative lock-step window between shard barriers, in simulated
+  /// seconds. Only meaningful alongside sim_shards.
+  double shard_window_s = 0.25;
+
   /// When non-empty, the run streams every trace event to this path as
   /// `propsim.trace` v1 JSONL (requires a PROPSIM_TRACE=ON build; the
   /// in-memory counters in ExperimentResult::trace work regardless).
@@ -168,7 +187,10 @@ struct ExperimentResult {
   /// v3: added the resilience counters (timeouts, retries,
   /// aborted_mid_commit, fault_messages, fault_losses,
   /// fault_partition_drops, fault_crashes); v1/v2 names are unchanged.
-  static constexpr int kCountersVersion = 3;
+  /// v4: added the scheduler counters (sim_events_executed,
+  /// sim_events_scheduled, sim_events_cancelled) — all invariant across
+  /// sim_shards values; v1-v3 names are unchanged.
+  static constexpr int kCountersVersion = 4;
 
   /// "lookup_ms" for unstructured overlays, "stretch" for DHTs.
   std::string metric_name;
@@ -191,6 +213,12 @@ struct ExperimentResult {
   std::uint64_t fault_losses = 0;
   std::uint64_t fault_partition_drops = 0;
   std::uint64_t fault_crashes = 0;
+  /// Scheduler totals for the whole run. Invariant across sim_shards
+  /// (the sharded core executes the identical event sequence), so they
+  /// are safe to echo in counters and the result JSON `sim` stanza.
+  std::uint64_t sim_events_executed = 0;
+  std::uint64_t sim_events_scheduled = 0;
+  std::uint64_t sim_events_cancelled = 0;
   bool connected = false;
   std::size_t final_population = 0;
 

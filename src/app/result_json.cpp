@@ -44,6 +44,17 @@ Json experiment_result_json(const ExperimentSpec& spec,
   out.set("counters", std::move(counters));
   out.set("counters_version", ExperimentResult::kCountersVersion);
 
+  // Scheduler stanza (additive). Only scheduler-invariant totals belong
+  // here: sim_shards / shard_window are execution knobs and the sharded
+  // core replays the identical event sequence, so emitting per-shard
+  // internals (windows, handoffs) would break the byte-identity contract
+  // between serial and sharded runs.
+  Json sim = Json::object();
+  sim.set("events_executed", result.sim_events_executed)
+      .set("events_scheduled", result.sim_events_scheduled)
+      .set("events_cancelled", result.sim_events_cancelled);
+  out.set("sim", std::move(sim));
+
   // Observability summary (additive; schema stays v1). Per-phase kind
   // counts only list non-zero kinds to keep small results small.
   Json trace = Json::object();

@@ -95,7 +95,7 @@ std::size_t ltm_round(OverlayNetwork& net, SlotId u, const LtmParams& params) {
   return changed;
 }
 
-LtmEngine::LtmEngine(OverlayNetwork& net, Simulator& sim,
+LtmEngine::LtmEngine(OverlayNetwork& net, Scheduler& sim,
                      const LtmParams& params, std::uint64_t seed)
     : net_(net), sim_(sim), params_(params), rng_(seed) {
   PROPSIM_CHECK(params_.interval_s > 0.0);
@@ -107,6 +107,7 @@ void LtmEngine::start() {
   pending_.assign(net_.graph().slot_count(), kInvalidEvent);
   for (const SlotId s : net_.graph().active_slots()) {
     pending_[s] = sim_.schedule_in(rng_.uniform_double(0.0, params_.interval_s),
+                                   sim_.shard_of(s),
                                    [this, s] { on_timer(s); });
   }
 }
@@ -126,8 +127,8 @@ void LtmEngine::on_timer(SlotId s) {
   if (!net_.graph().is_active(s)) return;
   ++rounds_;
   links_changed_ += ltm_round(net_, s, params_);
-  pending_[s] =
-      sim_.schedule_in(params_.interval_s, [this, s] { on_timer(s); });
+  pending_[s] = sim_.schedule_in(params_.interval_s, sim_.shard_of(s),
+                                 [this, s] { on_timer(s); });
 }
 
 }  // namespace propsim

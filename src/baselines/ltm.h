@@ -14,7 +14,7 @@
 
 #include "common/rng.h"
 #include "overlay/overlay_network.h"
-#include "sim/simulator.h"
+#include "sim/scheduler.h"
 
 namespace propsim {
 
@@ -34,7 +34,7 @@ std::size_t ltm_round(OverlayNetwork& net, SlotId u, const LtmParams& params);
 
 class LtmEngine {
  public:
-  LtmEngine(OverlayNetwork& net, Simulator& sim, const LtmParams& params,
+  LtmEngine(OverlayNetwork& net, Scheduler& sim, const LtmParams& params,
             std::uint64_t seed);
 
   /// Schedules the periodic detector round of every active slot.
@@ -48,7 +48,7 @@ class LtmEngine {
   void on_timer(SlotId s);
 
   OverlayNetwork& net_;
-  Simulator& sim_;
+  Scheduler& sim_;
   LtmParams params_;
   Rng rng_;
   std::vector<EventId> pending_;

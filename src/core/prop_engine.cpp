@@ -4,7 +4,7 @@
 
 namespace propsim {
 
-PropEngine::PropEngine(OverlayNetwork& net, Simulator& sim,
+PropEngine::PropEngine(OverlayNetwork& net, Scheduler& sim,
                        const PropParams& params, std::uint64_t seed)
     : net_(net), sim_(sim), params_(params), rng_(seed) {
   PROPSIM_CHECK(params_.init_timer_s > 0.0);
@@ -57,7 +57,8 @@ void PropEngine::init_node(SlotId s) {
 void PropEngine::schedule_probe(SlotId s, double delay) {
   NodeState& st = state_[s];
   PROPSIM_CHECK(st.pending == kInvalidEvent);
-  st.pending = sim_.schedule_in(delay, [this, s] { on_probe_timer(s); });
+  st.pending = sim_.schedule_in(delay, sim_.shard_of(s),
+                                [this, s] { on_probe_timer(s); });
 }
 
 void PropEngine::reschedule_sooner(SlotId s, double delay) {
@@ -347,7 +348,7 @@ void PropEngine::begin_negotiation(SlotId u, SlotId first_hop, SlotId v,
     // Plain delayed-commit mode: single scheduled commit, no locks —
     // the pre-fault protocol, byte-for-byte.
     st.pending = sim_.schedule_in(
-        base_delay,
+        base_delay, sim_.shard_of(u),
         [this, u, first_hop, v, path = std::move(path)]() mutable {
           state_[u].pending = kInvalidEvent;
           commit_after_delay(u, first_hop, v, std::move(path));
@@ -376,8 +377,9 @@ void PropEngine::begin_negotiation(SlotId u, SlotId first_hop, SlotId v,
       ++stats_.retries;
       const double rto = faults_->params().rto_factor * base_delay;
       st.pending = sim_.schedule_in(
-          rto, [this, u, first_hop, v, path = std::move(path),
-                retries_used]() mutable {
+          rto, sim_.shard_of(u),
+          [this, u, first_hop, v, path = std::move(path),
+           retries_used]() mutable {
             state_[u].pending = kInvalidEvent;
             begin_negotiation(u, first_hop, v, std::move(path),
                               retries_used + 1);
@@ -397,7 +399,8 @@ void PropEngine::begin_negotiation(SlotId u, SlotId first_hop, SlotId v,
   const double delay = faults_->jitter(base_delay);
   faults_->maybe_schedule_crash(u, v, delay);
   st.pending = sim_.schedule_in(
-      delay, [this, u, first_hop, v, path = std::move(path)]() mutable {
+      delay, sim_.shard_of(u),
+      [this, u, first_hop, v, path = std::move(path)]() mutable {
         state_[u].pending = kInvalidEvent;
         finish_two_phase(u, first_hop, v, std::move(path));
       });

@@ -18,7 +18,7 @@
 #include "core/swap_log.h"
 #include "faults/fault_plan.h"
 #include "overlay/overlay_network.h"
-#include "sim/simulator.h"
+#include "sim/scheduler.h"
 
 namespace propsim {
 
@@ -41,7 +41,7 @@ class PropEngine {
   };
 
   /// The engine keeps references to `net` and `sim`; both must outlive it.
-  PropEngine(OverlayNetwork& net, Simulator& sim, const PropParams& params,
+  PropEngine(OverlayNetwork& net, Scheduler& sim, const PropParams& params,
              std::uint64_t seed);
 
   /// Initializes per-node state and schedules the first probe of every
@@ -169,7 +169,7 @@ class PropEngine {
                        bool committed);
 
   OverlayNetwork& net_;
-  Simulator& sim_;
+  Scheduler& sim_;
   PropParams params_;
   Rng rng_;
   std::vector<NodeState> state_;

@@ -1,0 +1,39 @@
+// Narrow seam between fault injection and failure execution.
+//
+// The fault injector decides *when* a node dies; actually taking it down
+// (deactivating the slot, running node_left, survivor repair, component
+// stitching) is churn-path work. FailureExecutor is the one-method
+// interface between the two, so ChurnProcess no longer has to expose
+// `fail_slot` publicly for crash wiring — it implements the interface
+// privately and hands the injector a `FailureExecutor*`.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "overlay/logical_graph.h"
+
+namespace propsim {
+
+class FailureExecutor {
+ public:
+  virtual ~FailureExecutor() = default;
+
+  /// Takes `victim` down through the full failure path; returns true
+  /// when the node actually went down (false e.g. when a population
+  /// floor refused it).
+  virtual bool fail_slot(SlotId victim) = 0;
+};
+
+/// Callable adapter for tests and ad-hoc wiring.
+class FnFailureExecutor final : public FailureExecutor {
+ public:
+  using Fn = std::function<bool(SlotId)>;
+  explicit FnFailureExecutor(Fn fn) : fn_(std::move(fn)) {}
+  bool fail_slot(SlotId victim) override { return fn_(victim); }
+
+ private:
+  Fn fn_;
+};
+
+}  // namespace propsim

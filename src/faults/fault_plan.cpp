@@ -4,7 +4,7 @@
 
 namespace propsim {
 
-FaultInjector::FaultInjector(Simulator& sim, const FaultParams& params,
+FaultInjector::FaultInjector(Scheduler& sim, const FaultParams& params,
                              std::uint64_t seed)
     : sim_(sim), params_(params), rng_(seed) {
   PROPSIM_CHECK(params_.message_loss >= 0.0 && params_.message_loss < 1.0);
@@ -86,7 +86,7 @@ double FaultInjector::jitter(double delay_s) {
 
 std::optional<SlotId> FaultInjector::maybe_schedule_crash(SlotId u, SlotId v,
                                                           double window_s) {
-  if (params_.crash_per_negotiation <= 0.0 || !crash_executor_) {
+  if (params_.crash_per_negotiation <= 0.0 || failure_executor_ == nullptr) {
     return std::nullopt;
   }
   if (!rng_.bernoulli(params_.crash_per_negotiation)) return std::nullopt;
@@ -95,8 +95,8 @@ std::optional<SlotId> FaultInjector::maybe_schedule_crash(SlotId u, SlotId v,
   const double offset =
       rng_.uniform_double(0.0, std::max(window_s, 1e-9));
   ++stats_.crashes_scheduled;
-  sim_.schedule_in(offset, [this, victim, other] {
-    if (!crash_executor_(victim)) return;
+  sim_.schedule_in(offset, sim_.shard_of(victim), [this, victim, other] {
+    if (!failure_executor_->fail_slot(victim)) return;
     ++stats_.crashes_executed;
     if (trace_ != nullptr) {
       trace_->emit(obs::TraceEventKind::kFaultCrash, victim, other);

@@ -10,8 +10,8 @@
 //   (a) per-message Bernoulli loss plus multiplicative latency jitter on
 //       probes, walk hops and negotiation round-trips;
 //   (b) node crashes at arbitrary points inside an in-flight exchange
-//       negotiation (executed through a caller-supplied crash executor,
-//       normally ChurnProcess::fail_slot so survivor repair runs);
+//       negotiation (executed through a caller-supplied FailureExecutor,
+//       normally the ChurnProcess so survivor repair runs);
 //   (c) scheduled stub-domain partitions: every link crossing the
 //       domain's single gateway drops for a configured window.
 //
@@ -29,9 +29,10 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "faults/failure_executor.h"
 #include "obs/event_bus.h"
 #include "overlay/logical_graph.h"
-#include "sim/simulator.h"
+#include "sim/scheduler.h"
 #include "topology/graph.h"
 
 namespace propsim {
@@ -85,7 +86,7 @@ class FaultInjector {
   };
 
   /// Keeps a reference to `sim`; it must outlive the injector.
-  FaultInjector(Simulator& sim, const FaultParams& params,
+  FaultInjector(Scheduler& sim, const FaultParams& params,
                 std::uint64_t seed);
 
   const FaultParams& params() const { return params_; }
@@ -110,11 +111,11 @@ class FaultInjector {
   /// the simulator's current time (pure lookup, no RNG). Audit hook.
   std::vector<std::uint32_t> live_partitions() const;
 
-  /// Executes an injected crash; returns true when the victim actually
-  /// went down (false e.g. when the population floor refused it).
-  using CrashExecutor = std::function<bool(SlotId)>;
-  void set_crash_executor(CrashExecutor executor) {
-    crash_executor_ = std::move(executor);
+  /// Executes injected crashes (not owned, must outlive the injector);
+  /// normally the ChurnProcess, so survivor repair runs. Nothing
+  /// crash-related fires until one is installed.
+  void set_failure_executor(FailureExecutor* executor) {
+    failure_executor_ = executor;
   }
 
   /// Emits partition open/heal trace events at their window boundaries.
@@ -143,12 +144,12 @@ class FaultInjector {
                                              double window_s);
 
  private:
-  Simulator& sim_;
+  Scheduler& sim_;
   FaultParams params_;
   Rng rng_;
   obs::EventBus* trace_ = nullptr;
   std::vector<std::uint32_t> host_domain_;
-  CrashExecutor crash_executor_;
+  FailureExecutor* failure_executor_ = nullptr;
   Stats stats_;
 };
 

@@ -4,7 +4,7 @@
 
 namespace propsim {
 
-ConvergenceSampler::ConvergenceSampler(Simulator& sim,
+ConvergenceSampler::ConvergenceSampler(Scheduler& sim,
                                        std::string series_name,
                                        double start_s, double end_s,
                                        double interval_s, MetricFn metric) {
@@ -14,7 +14,7 @@ ConvergenceSampler::ConvergenceSampler(Simulator& sim,
   schedule(sim, start_s, end_s, interval_s);
 }
 
-ConvergenceSampler::ConvergenceSampler(Simulator& sim, double start_s,
+ConvergenceSampler::ConvergenceSampler(Scheduler& sim, double start_s,
                                        double end_s, double interval_s,
                                        PrepareFn prepare,
                                        std::vector<NamedMetric> metrics)
@@ -30,7 +30,7 @@ ConvergenceSampler::ConvergenceSampler(Simulator& sim, double start_s,
   schedule(sim, start_s, end_s, interval_s);
 }
 
-void ConvergenceSampler::schedule(Simulator& sim, double start_s,
+void ConvergenceSampler::schedule(Scheduler& sim, double start_s,
                                   double end_s, double interval_s) {
   PROPSIM_CHECK(interval_s > 0.0);
   PROPSIM_CHECK(end_s >= start_s);

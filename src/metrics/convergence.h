@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "common/timeseries.h"
-#include "sim/simulator.h"
+#include "sim/scheduler.h"
 
 namespace propsim {
 
@@ -34,13 +34,13 @@ class ConvergenceSampler {
     MetricFn fn;
   };
 
-  ConvergenceSampler(Simulator& sim, std::string series_name,
+  ConvergenceSampler(Scheduler& sim, std::string series_name,
                      double start_s, double end_s, double interval_s,
                      MetricFn metric);
 
   /// Batched form; `prepare` may be null when the metrics need no shared
   /// per-tick state.
-  ConvergenceSampler(Simulator& sim, double start_s, double end_s,
+  ConvergenceSampler(Scheduler& sim, double start_s, double end_s,
                      double interval_s, PrepareFn prepare,
                      std::vector<NamedMetric> metrics);
 
@@ -51,7 +51,7 @@ class ConvergenceSampler {
   }
 
  private:
-  void schedule(Simulator& sim, double start_s, double end_s,
+  void schedule(Scheduler& sim, double start_s, double end_s,
                 double interval_s);
 
   std::vector<TimeSeries> series_;  // parallel to metrics_

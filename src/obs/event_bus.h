@@ -14,7 +14,7 @@
 // build modes (tests/test_trace.cpp holds this).
 //
 // The bus is single-threaded by design: one bus per simulation, owned by
-// whoever owns the Simulator (parallel sweeps give each run its own).
+// whoever owns the Scheduler (parallel sweeps give each run its own).
 #pragma once
 
 #include <array>

@@ -1,0 +1,32 @@
+#include "sim/scheduler.h"
+
+namespace propsim::sim {
+
+EventId Scheduler::schedule_at(double when, ShardId shard, Callback fn) {
+  PROPSIM_CHECK(when >= now_);
+  PROPSIM_CHECK(fn != nullptr);
+  const EventId id = next_id_++;
+  ++scheduled_;
+  callbacks_.emplace(id, std::move(fn));
+  enqueue(Entry{when, id}, shard);
+  return id;
+}
+
+bool Scheduler::cancel(EventId id) {
+  // The heap entry stays behind as a tombstone and is skipped on pop.
+  if (callbacks_.erase(id) == 0) return false;
+  ++cancelled_;
+  return true;
+}
+
+bool Scheduler::execute(const Entry& entry) {
+  auto node = callbacks_.extract(entry.id);
+  if (node.empty()) return false;  // cancelled after being drained
+  now_ = entry.time;
+  ++executed_;
+  node.mapped()();
+  if (audit_ && executed_ % audit_interval_ == 0) audit_(*this);
+  return true;
+}
+
+}  // namespace propsim::sim

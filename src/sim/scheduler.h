@@ -1,0 +1,156 @@
+// Discrete-event scheduler interface.
+//
+// Protocol actions (probes, exchanges, churn arrivals) are callbacks
+// scheduled on a simulated clock measured in seconds. Events at equal
+// times fire in scheduling order (a strict total order keeps runs
+// deterministic), and every implementation is required to execute the
+// exact same callback sequence: swapping SerialScheduler for
+// ShardedScheduler at any shard count must leave `propsim.result`
+// byte-identical.
+//
+// Producers that know which stub domain an event belongs to pass a
+// ShardId (usually via `shard_of(slot)`) so a sharded implementation can
+// route the event to the owning shard's heap; the serial implementation
+// ignores the hint. Events without a natural home (global Poisson
+// arrivals, partition traces, samplers) use the unpinned overloads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+
+namespace propsim {
+
+using EventId = std::uint64_t;
+constexpr EventId kInvalidEvent = 0;
+
+/// Shard hint for scheduled events. Shards correspond to groups of stub
+/// domains; kNoShard means "no affinity" and lets the implementation
+/// pick deterministically.
+using ShardId = std::uint32_t;
+constexpr ShardId kNoShard = 0xFFFFFFFFu;
+
+namespace sim {
+
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Verification hook: `fn` runs after every `every_n_events` executed
+  /// events (and sees the post-event state). One hook at a time; pass a
+  /// null fn to uninstall. Used by the paranoid invariant audit
+  /// (analysis/invariant_checker.h) and by tests.
+  using AuditHook = std::function<void(const Scheduler&)>;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+  virtual ~Scheduler() = default;
+
+  double now() const { return now_; }
+  std::size_t pending_events() const { return callbacks_.size(); }
+  std::uint64_t executed_events() const { return executed_; }
+  std::uint64_t scheduled_events() const { return scheduled_; }
+  std::uint64_t cancelled_events() const { return cancelled_; }
+
+  /// Number of event heaps (1 for the serial implementation). Purely
+  /// informational; never affects the executed event sequence.
+  virtual std::size_t shard_count() const { return 1; }
+
+  /// Schedules `fn` to run `delay` seconds from now (delay >= 0).
+  EventId schedule_in(double delay, Callback fn) {
+    PROPSIM_CHECK(delay >= 0.0);
+    return schedule_at(now_ + delay, kNoShard, std::move(fn));
+  }
+  EventId schedule_in(double delay, ShardId shard, Callback fn) {
+    PROPSIM_CHECK(delay >= 0.0);
+    return schedule_at(now_ + delay, shard, std::move(fn));
+  }
+
+  /// Schedules `fn` at absolute time `when` (>= now).
+  EventId schedule_at(double when, Callback fn) {
+    return schedule_at(when, kNoShard, std::move(fn));
+  }
+  EventId schedule_at(double when, ShardId shard, Callback fn);
+
+  /// Cancels a pending event; returns false if it already ran or was
+  /// cancelled before.
+  bool cancel(EventId id);
+
+  /// Runs events until the queue empties or the clock passes `t_end`;
+  /// afterwards now() == max(now, t_end).
+  virtual void run_until(double t_end) = 0;
+
+  /// Runs every pending event (the event set must be finite).
+  void run_all() {
+    while (step()) {
+    }
+  }
+
+  /// Executes the single earliest event; returns false if none pending.
+  virtual bool step() = 0;
+
+  void set_audit(AuditHook fn, std::uint64_t every_n_events) {
+    PROPSIM_CHECK(fn == nullptr || every_n_events > 0);
+    audit_ = std::move(fn);
+    audit_interval_ = every_n_events;
+  }
+
+  /// Installs the slot -> shard affinity map (index = overlay slot id).
+  /// Producers call `shard_of(slot)` when scheduling slot-owned events;
+  /// with no map installed every lookup answers kNoShard, which is
+  /// always correct (affinity is an optimization hint, never semantics).
+  void set_shard_map(std::vector<ShardId> slot_to_shard) {
+    shard_map_ = std::move(slot_to_shard);
+  }
+  ShardId shard_of(std::uint32_t slot) const {
+    if (slot >= shard_map_.size()) return kNoShard;
+    return shard_map_[slot];
+  }
+
+ protected:
+  struct Entry {
+    double time;
+    EventId id;  // doubles as a tie-breaking sequence number
+    bool operator>(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return id > other.id;
+    }
+  };
+
+  /// Implementation hook: file `entry` (already registered in the
+  /// callback table) under `shard` (kNoShard = implementation's choice).
+  virtual void enqueue(const Entry& entry, ShardId shard) = 0;
+
+  /// Shared execution path: extracts the callback (returns false for a
+  /// cancelled tombstone), advances the clock, runs it, fires the audit
+  /// hook. Implementations must call this in exactly the global
+  /// (time, id) order — that is the whole determinism contract.
+  bool execute(const Entry& entry);
+
+  /// True while `id` has not run and has not been cancelled.
+  bool live(EventId id) const { return callbacks_.contains(id); }
+
+  double now_ = 0.0;
+
+ private:
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::uint64_t scheduled_ = 0;
+  std::uint64_t cancelled_ = 0;
+  AuditHook audit_;
+  std::uint64_t audit_interval_ = 0;
+  std::vector<ShardId> shard_map_;
+  // det-ok(D1): looked up by EventId on pop/cancel only; never iterated
+  std::unordered_map<EventId, Callback> callbacks_;
+};
+
+}  // namespace sim
+
+using sim::Scheduler;
+
+}  // namespace propsim

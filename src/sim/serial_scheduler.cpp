@@ -1,0 +1,33 @@
+#include "sim/serial_scheduler.h"
+
+namespace propsim::sim {
+
+bool SerialScheduler::peek_next(Entry& out) {
+  while (!queue_.empty()) {
+    const Entry top = queue_.top();
+    if (live(top.id)) {
+      out = top;
+      return true;
+    }
+    queue_.pop();  // cancelled tombstone
+  }
+  return false;
+}
+
+bool SerialScheduler::step() {
+  Entry entry;
+  if (!peek_next(entry)) return false;
+  queue_.pop();
+  return execute(entry);
+}
+
+void SerialScheduler::run_until(double t_end) {
+  PROPSIM_CHECK(t_end >= now_);
+  Entry entry;
+  while (peek_next(entry) && entry.time <= t_end) {
+    step();
+  }
+  now_ = t_end;
+}
+
+}  // namespace propsim::sim

@@ -1,0 +1,177 @@
+#include "sim/sharded_scheduler.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace propsim::sim {
+
+ShardedScheduler::ShardedScheduler(std::size_t shards, double window_s)
+    : window_s_(window_s) {
+  PROPSIM_CHECK(shards >= 1 && shards <= kMaxShards);
+  PROPSIM_CHECK(window_s > 0.0);
+  shards_.resize(shards);
+  handoff_.resize(shards * shards);
+  if (shards > 1) {
+    const std::size_t hw = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::thread::hardware_concurrency()));
+    pool_ = std::make_unique<ThreadPool>(std::min(shards, hw));
+  }
+}
+
+void ShardedScheduler::enqueue(const Entry& entry, ShardId shard) {
+  const ShardId dst = resolve(shard, entry.id);
+  if (in_window_ && entry.time <= window_end_) {
+    // The merged execution list for the open window is already fixed;
+    // the live heap interleaves this event at its exact (time, id) slot.
+    live_.push(LiveEntry{entry.time, entry.id, dst});
+    ++stats_.live_reroutes;
+    return;
+  }
+  if (in_window_ && executing_shard_ != kNoShard && dst != executing_shard_) {
+    handoff_[executing_shard_ * shards_.size() + dst].push_back(entry);
+    ++stats_.handoffs;
+    return;
+  }
+  shards_[dst].heap.push(entry);
+}
+
+void ShardedScheduler::flush_handoffs() {
+  const std::size_t n = shards_.size();
+  for (std::size_t src = 0; src < n; ++src) {
+    for (std::size_t dst = 0; dst < n; ++dst) {
+      std::vector<Entry>& buffer = handoff_[src * n + dst];
+      for (const Entry& entry : buffer) shards_[dst].heap.push(entry);
+      buffer.clear();
+    }
+  }
+}
+
+bool ShardedScheduler::peek_shard(Shard& shard, Entry& out) {
+  while (!shard.heap.empty()) {
+    const Entry top = shard.heap.top();
+    if (live(top.id)) {
+      out = top;
+      return true;
+    }
+    shard.heap.pop();  // cancelled tombstone
+  }
+  return false;
+}
+
+bool ShardedScheduler::earliest(Entry& out, std::size_t& shard_index) {
+  bool found = false;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Entry candidate;
+    if (!peek_shard(shards_[s], candidate)) continue;
+    if (!found || out > candidate) {
+      out = candidate;
+      shard_index = s;
+      found = true;
+    }
+  }
+  return found;
+}
+
+void ShardedScheduler::drain(double limit) {
+  const auto drain_one = [this, limit](std::size_t s) {
+    Shard& shard = shards_[s];
+    shard.batch.clear();
+    shard.cursor = 0;
+    while (!shard.heap.empty()) {
+      const Entry top = shard.heap.top();
+      if (top.time > limit) break;
+      shard.heap.pop();
+      // `live` is a read-only tombstone lookup; nothing mutates the
+      // callback table while the drain fan-out is in flight.
+      if (live(top.id)) shard.batch.push_back(top);
+    }
+  };
+  if (pool_) {
+    pool_->parallel_for(shards_.size(), drain_one);
+  } else {
+    drain_one(0);
+  }
+  for (const Shard& shard : shards_) stats_.drained += shard.batch.size();
+}
+
+void ShardedScheduler::execute_window() {
+  const std::size_t n = shards_.size();
+  for (;;) {
+    // Minimum (time, id) across the per-shard batch cursors and the live
+    // heap; `n` marks "take from the live heap".
+    std::size_t best = n;
+    Entry best_entry{0.0, 0};
+    ShardId best_shard = kNoShard;
+    bool found = false;
+    for (std::size_t s = 0; s < n; ++s) {
+      Shard& shard = shards_[s];
+      while (shard.cursor < shard.batch.size() &&
+             !live(shard.batch[shard.cursor].id)) {
+        ++shard.cursor;  // cancelled mid-window
+      }
+      if (shard.cursor >= shard.batch.size()) continue;
+      const Entry& candidate = shard.batch[shard.cursor];
+      if (!found || best_entry > candidate) {
+        best = s;
+        best_entry = candidate;
+        best_shard = static_cast<ShardId>(s);
+        found = true;
+      }
+    }
+    while (!live_.empty() && !live(live_.top().id)) live_.pop();
+    if (!live_.empty()) {
+      const LiveEntry& top = live_.top();
+      const Entry candidate{top.time, top.id};
+      if (!found || best_entry > candidate) {
+        best = n;
+        best_entry = candidate;
+        best_shard = top.shard;
+        found = true;
+      }
+    }
+    if (!found) break;
+    if (best == n) {
+      live_.pop();
+    } else {
+      ++shards_[best].cursor;
+    }
+    executing_shard_ = best_shard;
+    execute(best_entry);
+  }
+  executing_shard_ = kNoShard;
+  for (Shard& shard : shards_) {
+    shard.batch.clear();
+    shard.cursor = 0;
+  }
+}
+
+void ShardedScheduler::run_until(double t_end) {
+  PROPSIM_CHECK(t_end >= now_);
+  for (;;) {
+    flush_handoffs();
+    Entry first;
+    std::size_t first_shard = 0;
+    if (!earliest(first, first_shard) || first.time > t_end) break;
+    // Anchor the window at the earliest pending event so idle stretches
+    // are skipped in one hop instead of walked window by window.
+    const double w_end = std::min(first.time + window_s_, t_end);
+    ++stats_.windows;
+    drain(w_end);
+    in_window_ = true;
+    window_end_ = w_end;
+    execute_window();
+    in_window_ = false;
+  }
+  now_ = t_end;
+}
+
+bool ShardedScheduler::step() {
+  flush_handoffs();
+  Entry entry;
+  std::size_t shard_index = 0;
+  if (!earliest(entry, shard_index)) return false;
+  shards_[shard_index].heap.pop();
+  return execute(entry);
+}
+
+}  // namespace propsim::sim

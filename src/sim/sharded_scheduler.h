@@ -1,0 +1,129 @@
+// Domain-sharded event loop: one binary heap per stub-domain shard,
+// drained in conservative time-windowed lock-step.
+//
+// Execution is bit-identical to SerialScheduler at any shard count. The
+// discipline (borrowed from MeasureEngine: deterministic chunks, serial
+// index-order reductions) is:
+//
+//   1. Handoff flush. Cross-shard events buffered during the previous
+//      window are merged into their destination heaps in serial
+//      (src, dst) shard-index order. Event ids were assigned at schedule
+//      time, so the equal-time FIFO tie-break survives the detour.
+//   2. Window selection. The next window is anchored at the earliest
+//      pending event across all shards and spans `window_s` simulated
+//      seconds (clamped to t_end) — idle gaps are skipped, not walked.
+//   3. Parallel drain. Each shard pops its heap entries with
+//      time <= window end into a private (time, id)-sorted batch on the
+//      shared ThreadPool. This phase touches only per-shard heaps plus
+//      read-only tombstone lookups — no callback runs, no state mutates,
+//      so the fan-out cannot perturb the event sequence.
+//   4. Serial merge-execute. The per-shard batches (plus any events
+//      scheduled into the open window while it executes) are k-way
+//      merged by (time, id) and the callbacks run serially in exactly
+//      the order the serial loop would have produced.
+//
+// Events scheduled by a running callback route by destination: same
+// shard or past the window end -> owning heap; a different shard inside
+// the closed merge -> the live heap (step 4 interleaves it at its exact
+// (time, id) slot); a different shard beyond the window -> the
+// per-(src,dst) handoff buffer for the next flush.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "sim/scheduler.h"
+
+namespace propsim {
+namespace sim {
+
+class ShardedScheduler final : public Scheduler {
+ public:
+  static constexpr std::size_t kMaxShards = 64;
+  static constexpr double kDefaultWindowS = 0.25;
+
+  /// Shard-count-dependent internals, exposed for benches and tests
+  /// only. Never exported into counters or `propsim.result`: result
+  /// JSON must stay byte-identical across shard counts.
+  struct Stats {
+    std::uint64_t windows = 0;          // lock-step windows executed
+    std::uint64_t handoffs = 0;         // events routed via handoff buffers
+    std::uint64_t live_reroutes = 0;    // events landing inside the open window
+    std::uint64_t drained = 0;          // events drained by the parallel phase
+  };
+
+  explicit ShardedScheduler(std::size_t shards,
+                            double window_s = kDefaultWindowS);
+
+  std::size_t shard_count() const override { return shards_.size(); }
+  double window_s() const { return window_s_; }
+  const Stats& stats() const { return stats_; }
+
+  void run_until(double t_end) override;
+  bool step() override;
+
+ protected:
+  void enqueue(const Entry& entry, ShardId shard) override;
+
+ private:
+  struct Shard {
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    std::vector<Entry> batch;  // drained for the open window, (time,id)-sorted
+    std::size_t cursor = 0;    // merge progress into `batch`
+  };
+  struct LiveEntry {
+    double time;
+    EventId id;
+    ShardId shard;  // owning shard, for attribution of nested schedules
+    bool operator>(const LiveEntry& other) const {
+      if (time != other.time) return time > other.time;
+      return id > other.id;
+    }
+  };
+
+  /// Maps a scheduling hint to an owning shard; unpinned events spread
+  /// by id (deterministic, and order-irrelevant by the contract).
+  ShardId resolve(ShardId shard, EventId id) const {
+    if (shard != kNoShard && shard < shards_.size()) return shard;
+    return static_cast<ShardId>(id % shards_.size());
+  }
+
+  /// Merges every handoff buffer into its destination heap, in serial
+  /// (src, dst) index order.
+  void flush_handoffs();
+
+  /// Pops tombstones off `shard`'s heap; true when a live top remains.
+  bool peek_shard(Shard& shard, Entry& out);
+
+  /// Earliest live entry across all shard heaps (serial contexts only).
+  /// Fills `out` and the owning shard index; does not pop the entry.
+  bool earliest(Entry& out, std::size_t& shard_index);
+
+  /// Parallel phase: per shard, pop entries with time <= `limit` into
+  /// the shard's sorted batch (tombstones dropped).
+  void drain(double limit);
+
+  /// Serial phase: k-way merge the drained batches with the live heap
+  /// and run the callbacks in global (time, id) order.
+  void execute_window();
+
+  double window_s_;
+  std::vector<Shard> shards_;
+  std::vector<std::vector<Entry>> handoff_;  // index = src * shards + dst
+  std::priority_queue<LiveEntry, std::vector<LiveEntry>, std::greater<>>
+      live_;  // events scheduled into the open window while it executes
+  bool in_window_ = false;
+  double window_end_ = 0.0;
+  ShardId executing_shard_ = kNoShard;
+  std::unique_ptr<ThreadPool> pool_;  // null when shards == 1
+  Stats stats_;
+};
+
+}  // namespace sim
+
+using sim::ShardedScheduler;
+
+}  // namespace propsim

@@ -4,7 +4,7 @@
 
 namespace propsim {
 
-ChurnProcess::ChurnProcess(OverlayNetwork& net, Simulator& sim,
+ChurnProcess::ChurnProcess(OverlayNetwork& net, Scheduler& sim,
                            PropEngine* engine,
                            const GnutellaConfig& overlay_config,
                            const ChurnParams& params,

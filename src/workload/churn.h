@@ -14,7 +14,7 @@
 #include "faults/fault_plan.h"
 #include "gnutella/gnutella.h"
 #include "overlay/overlay_network.h"
-#include "sim/simulator.h"
+#include "sim/scheduler.h"
 
 namespace propsim {
 
@@ -32,11 +32,11 @@ struct ChurnParams {
   std::size_t min_population = 8;
 };
 
-class ChurnProcess {
+class ChurnProcess : public FailureExecutor {
  public:
   /// `engine` may be null (churn without PROP, for baselines). `spares`
   /// seeds the pool of joinable hosts; departed peers' hosts are reused.
-  ChurnProcess(OverlayNetwork& net, Simulator& sim, PropEngine* engine,
+  ChurnProcess(OverlayNetwork& net, Scheduler& sim, PropEngine* engine,
                const GnutellaConfig& overlay_config,
                const ChurnParams& params, std::vector<NodeId> spares,
                std::uint64_t seed);
@@ -62,19 +62,24 @@ class ChurnProcess {
   /// neighbors re-dial replacement links (degree floor restored, and
   /// any partition reconnected), mirroring Gnutella's keepalive repair.
   bool do_fail();
-  /// Crashes a specific slot (fault-injection executor): same survivor
-  /// repair as do_fail, but the victim is chosen by the caller. Returns
-  /// false when the slot is inactive or the population floor refuses.
-  bool fail_slot(SlotId victim);
 
  private:
+  /// FailureExecutor: crashes a specific slot (fault-injection path):
+  /// same survivor repair as do_fail, but the victim is chosen by the
+  /// caller. Returns false when the slot is inactive or the population
+  /// floor refuses. Private on purpose — callers go through the
+  /// FailureExecutor interface (faults/failure_executor.h), never
+  /// directly.
+  bool fail_slot(SlotId victim) override;
+
+
   void schedule_join();
   void schedule_leave();
   void schedule_fail();
   void add_repair_edge(SlotId a, SlotId b);
 
   OverlayNetwork& net_;
-  Simulator& sim_;
+  Scheduler& sim_;
   PropEngine* engine_;
   FaultInjector* faults_ = nullptr;
   GnutellaConfig overlay_config_;

@@ -5,7 +5,7 @@
 namespace propsim {
 
 LookupTrafficProcess::LookupTrafficProcess(OverlayNetwork& net,
-                                           Simulator& sim,
+                                           Scheduler& sim,
                                            const LookupTrafficParams& params,
                                            ResolveFn resolve,
                                            std::uint64_t seed)

@@ -17,7 +17,7 @@
 #include "common/timeseries.h"
 #include "metrics/metrics.h"
 #include "overlay/overlay_network.h"
-#include "sim/simulator.h"
+#include "sim/scheduler.h"
 
 namespace propsim {
 
@@ -39,7 +39,7 @@ class LookupTrafficProcess {
   using ResolveFn = std::function<double(const QueryPair&)>;
 
   /// `net` provides the live membership for source/destination draws.
-  LookupTrafficProcess(OverlayNetwork& net, Simulator& sim,
+  LookupTrafficProcess(OverlayNetwork& net, Scheduler& sim,
                        const LookupTrafficParams& params, ResolveFn resolve,
                        std::uint64_t seed);
 
@@ -60,7 +60,7 @@ class LookupTrafficProcess {
   void close_window();
 
   OverlayNetwork& net_;
-  Simulator& sim_;
+  Scheduler& sim_;
   LookupTrafficParams params_;
   ResolveFn resolve_;
   Rng rng_;

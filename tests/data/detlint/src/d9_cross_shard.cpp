@@ -1,0 +1,11 @@
+// Fixture: D9 must flag the default [&] captures in the shard-pinned
+// (three-argument) schedule calls below, and nothing else.
+void drive(Sim& sim, unsigned slot) {
+  int local = 0;
+  sim.schedule_in(1.0, sim.shard_of(slot), [&] { local += 1; });
+  sim.schedule_at(2.0, sim.shard_of(slot),
+                  [&, slot] { local = static_cast<int>(slot); });
+  sim.schedule_in(1.0, sim.shard_of(slot), [&local] { local += 1; });
+  sim.schedule_in(1.0, sim.shard_of(slot), [slot] { (void)slot; });
+  sim.schedule_in(1.0, [&] { local += 1; });  // two-arg: shard-local
+}

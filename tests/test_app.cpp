@@ -334,7 +334,7 @@ TEST(RunExperiment, OracleModesAgree) {
 
 TEST(ExperimentResult, CountersViewIsStable) {
   const auto result = run_experiment(must_parse(small_base("")));
-  EXPECT_EQ(ExperimentResult::kCountersVersion, 3);
+  EXPECT_EQ(ExperimentResult::kCountersVersion, 4);
   const auto counters = result.counters();
   ASSERT_GE(counters.size(), 4u);
   // Spot-check the fixed order and that values mirror the struct.
@@ -344,6 +344,7 @@ TEST(ExperimentResult, CountersViewIsStable) {
   bool found_trace_events = false;
   bool found_timeouts = false;
   bool found_fault_losses = false;
+  bool found_sim_events = false;
   for (const auto& [name, value] : counters) {
     if (name == "control_messages") {
       found_control = true;
@@ -362,11 +363,17 @@ TEST(ExperimentResult, CountersViewIsStable) {
       // A fault-free run never records injector activity.
       EXPECT_EQ(value, 0u);
     }
+    if (name == "sim_events_executed") {
+      found_sim_events = true;
+      EXPECT_EQ(value, result.sim_events_executed);
+      EXPECT_GT(value, 0u);
+    }
   }
   EXPECT_TRUE(found_control);
   EXPECT_TRUE(found_trace_events);
   EXPECT_TRUE(found_timeouts);
   EXPECT_TRUE(found_fault_losses);
+  EXPECT_TRUE(found_sim_events);
 }
 
 TEST(ExperimentResult, EventBusCountersMatchEngineStats) {

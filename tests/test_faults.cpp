@@ -149,10 +149,11 @@ TEST(FaultInjector, CrashSchedulesThroughExecutor) {
   params.crash_per_negotiation = 0.99;
   FaultInjector faults(sim, params, 12);
   std::vector<SlotId> crashed;
-  faults.set_crash_executor([&](SlotId victim) {
+  FnFailureExecutor executor([&](SlotId victim) {
     crashed.push_back(victim);
     return true;
   });
+  faults.set_failure_executor(&executor);
   std::optional<SlotId> victim;
   for (int i = 0; i < 64 && !victim; ++i) {
     victim = faults.maybe_schedule_crash(3, 4, 2.0);
@@ -170,7 +171,8 @@ TEST(FaultInjector, CrashSchedulesThroughExecutor) {
   FaultParams none;
   none.message_loss = 0.1;
   FaultInjector quiet(sim, none, 12);
-  quiet.set_crash_executor([&](SlotId) { return true; });
+  FnFailureExecutor always([](SlotId) { return true; });
+  quiet.set_failure_executor(&always);
   EXPECT_FALSE(quiet.maybe_schedule_crash(3, 4, 2.0).has_value());
 }
 
@@ -213,8 +215,7 @@ TEST(PropEngineFaults, MidExchangeCrashAbortsCleanly) {
   FaultInjector faults(sim, params, 34);
   engine.set_faults(&faults);
   churn.set_faults(&faults);
-  faults.set_crash_executor(
-      [&churn](SlotId victim) { return churn.fail_slot(victim); });
+  faults.set_failure_executor(&churn);
   engine.start();
   sim.run_until(2000.0);
   EXPECT_GT(faults.stats().crashes_executed, 0u);
@@ -401,8 +402,7 @@ TEST(FaultsSmoke, PropGWithCrashesKeepsPlacementSound) {
   FaultInjector faults(sim, params, 54);
   engine.set_faults(&faults);
   churn.set_faults(&faults);
-  faults.set_crash_executor(
-      [&churn](SlotId victim) { return churn.fail_slot(victim); });
+  faults.set_failure_executor(&churn);
   engine.start();
   sim.run_until(2000.0);
 

@@ -10,6 +10,7 @@
 #include "can/can_space.h"
 #include "chord/chord_ring.h"
 #include "core/prop_engine.h"
+#include "sim/simulator.h"
 #include "fixtures.h"
 #include "metrics/convergence.h"
 #include "metrics/metrics.h"

@@ -300,7 +300,7 @@ TEST(InvariantChecker, PropGRunPreservesAllInvariants) {
 TEST(Simulator, AuditHookFiresAtInterval) {
   Simulator sim;
   int fired = 0;
-  sim.set_audit([&](const Simulator&) { ++fired; }, 3);
+  sim.set_audit([&](const Scheduler&) { ++fired; }, 3);
   for (int i = 0; i < 10; ++i) {
     sim.schedule_in(static_cast<double>(i), [] {});
   }

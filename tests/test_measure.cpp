@@ -179,6 +179,46 @@ TEST(MeasureThreadsKey, RejectsNegativeAndGarbage) {
   }
 }
 
+// --------------------------------------------------- sim_shards key ----
+
+TEST(SimShardsKey, DefaultsToSerial) {
+  EXPECT_EQ(must_parse("").sim_shards, 1u);
+  EXPECT_DOUBLE_EQ(must_parse("").shard_window_s, 0.25);
+}
+
+TEST(SimShardsKey, ParsesAutoCountsAndWindow) {
+  EXPECT_EQ(must_parse("sim_shards = auto\n").sim_shards,
+            ExperimentSpec::kSimShardsAuto);
+  EXPECT_EQ(must_parse("sim_shards = 0\n").sim_shards, 0u);
+  EXPECT_EQ(must_parse("sim_shards = 8\n").sim_shards, 8u);
+  EXPECT_DOUBLE_EQ(
+      must_parse("sim_shards = 4\nshard_window = 0.5\n").shard_window_s,
+      0.5);
+}
+
+TEST(SimShardsKey, RejectsBadValuesAndCombinations) {
+  for (const char* bad : {
+           "sim_shards = -2\n",                    // negative
+           "sim_shards = up\n",                    // garbage
+           "sim_shards = 65\n",                    // above kMaxShards
+           "sim_shards = 4\nshard_window = 0\n",   // non-positive window
+           "shard_window = 0.5\n",                 // window without shards
+           "sim_shards = 1\nshard_window = 0.5\n",  // window on serial core
+           "sim_shards = 4\ntopology = waxman\n",  // needs stub domains
+           "sim_shards = auto\nmeasure_threads = auto\n",  // both auto
+       }) {
+    EXPECT_FALSE(ExperimentSpec::from_config(Config::parse(bad)).ok()) << bad;
+  }
+}
+
+TEST(SimShardsKey, MisspelledKeyGetsDidYouMeanHint) {
+  const SpecResult parsed =
+      ExperimentSpec::from_config(Config::parse("sim_shard = 4\n"));
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error_report().find("sim_shards"), std::string::npos)
+      << parsed.error_report();
+}
+
 // ------------------------------------------------- golden result JSON ----
 
 std::string golden_json(const std::string& base, const std::string& threads) {
@@ -220,6 +260,55 @@ TEST(MeasureGolden, FaultedResultJsonIdenticalAcrossThreadCounts) {
   const std::string serial = golden_json(base, "1");
   EXPECT_EQ(serial, golden_json(base, "4"));
   EXPECT_EQ(serial, golden_json(base, "8"));
+}
+
+// --------------------------------- golden result JSON, sharded core ----
+
+std::string golden_json_shards(const std::string& base,
+                               const std::string& shards,
+                               const std::string& window = "") {
+  Config config = Config::parse(base);
+  config.set("sim_shards", shards);
+  if (!window.empty()) config.set("shard_window", window);
+  const SpecResult parsed = ExperimentSpec::from_config(config);
+  EXPECT_TRUE(parsed.ok()) << parsed.error_report();
+  const ExperimentSpec& spec = parsed.spec();
+  ExperimentResult result = run_experiment(spec);
+  result.trace.warmup_wall_ms = 0.0;
+  result.trace.maintenance_wall_ms = 0.0;
+  return experiment_result_json(spec, result).dump(2);
+}
+
+TEST(SchedulerGolden, Fig5LikeResultJsonIdenticalAcrossShardCounts) {
+  // configs/fig5_like.conf downscaled to test time; the acceptance bar
+  // for the sharded event core is byte-identity at 1/2/4/8 shards.
+  const std::string base =
+      "topology = ts-large\noverlay = gnutella\nprotocol = prop-g\n"
+      "nodes = 300\nhorizon = 900\nsample_interval = 100\n"
+      "queries = 2500\nnhops = 2\n";
+  const std::string serial = golden_json_shards(base, "1");
+  EXPECT_EQ(serial, golden_json_shards(base, "2"));
+  EXPECT_EQ(serial, golden_json_shards(base, "4"));
+  EXPECT_EQ(serial, golden_json_shards(base, "8"));
+  // The lock-step window width is equally invisible in the result.
+  EXPECT_EQ(serial, golden_json_shards(base, "4", "0.05"));
+  EXPECT_EQ(serial, golden_json_shards(base, "4", "30"));
+}
+
+TEST(SchedulerGolden, FaultedResultJsonIdenticalAcrossShardCounts) {
+  // Crashes, partitions, retries and churn repair all cross shard
+  // boundaries; the faulted golden is the hard case for handoff.
+  const std::string base =
+      "topology = ts-large\noverlay = gnutella\nprotocol = prop-o\n"
+      "nodes = 300\nhorizon = 900\nsample_interval = 100\n"
+      "queries = 2500\nmodel_message_delays = true\n"
+      "fault_loss = 0.05\nfault_jitter = 0.2\nfault_crash = 0.02\n"
+      "fault_partition_domain = auto\n"
+      "fault_partition_start = 300\nfault_partition_end = 600\n";
+  const std::string serial = golden_json_shards(base, "1");
+  EXPECT_EQ(serial, golden_json_shards(base, "2"));
+  EXPECT_EQ(serial, golden_json_shards(base, "4"));
+  EXPECT_EQ(serial, golden_json_shards(base, "8"));
 }
 
 }  // namespace

@@ -1,0 +1,273 @@
+// Scheduler API: SerialScheduler semantics through the interface, and
+// the ShardedScheduler determinism contract — bit-identical execution
+// at any shard count and window, equal-time FIFO tie-break across a
+// handoff boundary, cancellation of buffered handoffs.
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/serial_scheduler.h"
+#include "sim/sharded_scheduler.h"
+
+namespace propsim {
+namespace {
+
+// --------------------------------------------------- interface basics ----
+
+// Producers take Scheduler&; any implementation must satisfy them.
+int run_three_through_interface(Scheduler& sim) {
+  int sum = 0;
+  sim.schedule_in(2.0, [&] { sum += 100; });
+  sim.schedule_in(1.0, [&] { sum += 10; });
+  sim.schedule_at(3.0, [&] { sum += 1; });
+  sim.run_until(10.0);
+  return sum;
+}
+
+TEST(Scheduler, PolymorphicUseMatchesAcrossImplementations) {
+  SerialScheduler serial;
+  ShardedScheduler sharded(4);
+  EXPECT_EQ(run_three_through_interface(serial), 111);
+  EXPECT_EQ(run_three_through_interface(sharded), 111);
+  EXPECT_EQ(serial.executed_events(), 3u);
+  EXPECT_EQ(sharded.executed_events(), 3u);
+  EXPECT_EQ(serial.scheduled_events(), 3u);
+  EXPECT_EQ(sharded.scheduled_events(), 3u);
+}
+
+TEST(Scheduler, ShardMapAnswersAndDefaultsToNoShard) {
+  SerialScheduler sim;
+  EXPECT_EQ(sim.shard_of(0), kNoShard);  // no map installed
+  sim.set_shard_map({0, 1, 2, 0});
+  EXPECT_EQ(sim.shard_of(1), 1u);
+  EXPECT_EQ(sim.shard_of(3), 0u);
+  EXPECT_EQ(sim.shard_of(99), kNoShard);  // out of range
+}
+
+TEST(Scheduler, CancelCountsOnceAndPendingDrops) {
+  ShardedScheduler sim(2);
+  const EventId id = sim.schedule_in(1.0, [] {});
+  EXPECT_EQ(sim.pending_events(), 1u);
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.cancelled_events(), 1u);
+  sim.run_until(5.0);
+  EXPECT_EQ(sim.executed_events(), 0u);
+}
+
+// ----------------------------------------- sharded semantics, targeted ----
+
+TEST(ShardedScheduler, EqualTimeFifoTieBreakSurvivesHandoff) {
+  // Window [0.1, 0.6]. The shard-0 event schedules X onto shard 1 at
+  // t=1.0 — cross-shard, beyond the window, so X rides the handoff
+  // buffer. The shard-1 event then schedules Y onto its own shard at the
+  // same t=1.0, straight into the heap. X was scheduled first, gets the
+  // smaller id, and must still fire first after the detour.
+  ShardedScheduler sim(2, /*window_s=*/0.5);
+  std::vector<std::string> order;
+  EventId x = kInvalidEvent;
+  EventId y = kInvalidEvent;
+  sim.schedule_at(0.1, /*shard=*/0, [&] {
+    x = sim.schedule_at(1.0, /*shard=*/1, [&] { order.push_back("X"); });
+  });
+  sim.schedule_at(0.2, /*shard=*/1, [&] {
+    y = sim.schedule_at(1.0, /*shard=*/1, [&] { order.push_back("Y"); });
+  });
+  sim.run_until(2.0);
+  ASSERT_LT(x, y);  // schedule order assigns the tie-breaking ids
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "X");
+  EXPECT_EQ(order[1], "Y");
+  EXPECT_GE(sim.stats().handoffs, 1u);
+}
+
+TEST(ShardedScheduler, CancelReachesEventParkedInHandoffBuffer) {
+  ShardedScheduler sim(2, /*window_s=*/0.5);
+  bool fired = false;
+  EventId x = kInvalidEvent;
+  sim.schedule_at(0.1, /*shard=*/0, [&] {
+    x = sim.schedule_at(1.0, /*shard=*/1, [&] { fired = true; });
+  });
+  // A later event in the same window cancels X while it sits in the
+  // (0 -> 1) handoff buffer, before any flush.
+  sim.schedule_at(0.2, /*shard=*/0, [&] {
+    EXPECT_TRUE(sim.cancel(x));
+    EXPECT_FALSE(sim.cancel(x));  // second cancel: already gone
+  });
+  sim.run_until(2.0);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.cancelled_events(), 1u);
+  EXPECT_EQ(sim.executed_events(), 2u);
+}
+
+TEST(ShardedScheduler, CrossShardEventInsideOpenWindowKeepsGlobalOrder) {
+  // The t=0.1 callback schedules a cross-shard event at t=0.3 — inside
+  // the already-drained window [0.1, 0.6] — which must still execute
+  // before the pre-existing t=0.4 event on the other shard.
+  ShardedScheduler sim(2, /*window_s=*/0.5);
+  std::vector<int> order;
+  sim.schedule_at(0.4, /*shard=*/1, [&] { order.push_back(2); });
+  sim.schedule_at(0.1, /*shard=*/0, [&] {
+    order.push_back(1);
+    sim.schedule_at(0.3, /*shard=*/1, [&] { order.push_back(3); });
+  });
+  sim.run_until(1.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+  EXPECT_GE(sim.stats().live_reroutes, 1u);
+}
+
+TEST(ShardedScheduler, StepExecutesGloballyEarliestAcrossShards) {
+  ShardedScheduler sim(4, /*window_s=*/0.5);
+  std::vector<int> order;
+  sim.schedule_at(3.0, 2, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, 3, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, 0, [&] { order.push_back(2); });
+  EXPECT_TRUE(sim.step());
+  EXPECT_DOUBLE_EQ(sim.now(), 1.0);
+  EXPECT_TRUE(sim.step());
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ShardedScheduler, RunUntilClampsClockLikeSerial) {
+  ShardedScheduler sim(2);
+  int fired = 0;
+  sim.schedule_at(5.0, [&] { ++fired; });
+  sim.run_until(3.0);
+  EXPECT_EQ(fired, 0);
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+  sim.run_until(5.0);  // boundary event fires
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(ShardedScheduler, AuditHookFiresAtSameCountsAsSerial) {
+  const auto run = [](Scheduler& sim) {
+    std::vector<std::pair<std::uint64_t, double>> audits;
+    sim.set_audit(
+        [&](const Scheduler& s) {
+          audits.emplace_back(s.executed_events(), s.now());
+        },
+        3);
+    for (int i = 0; i < 10; ++i) {
+      sim.schedule_in(static_cast<double>(i) * 0.1, [] {});
+    }
+    sim.run_until(5.0);
+    return audits;
+  };
+  SerialScheduler serial;
+  ShardedScheduler sharded(3, /*window_s=*/0.25);
+  EXPECT_EQ(run(serial), run(sharded));
+}
+
+// --------------------------------------------------- differential fuzz ----
+
+// Seed-driven self-scheduling workload: events spawn children (some at
+// zero delay to stress the FIFO tie-break), cancel random pending ids,
+// and log (tag, now) on execution. Driven through Scheduler&, the log —
+// and every RNG draw — must be identical on every implementation.
+class FuzzWorkload {
+ public:
+  static constexpr int kMaxEvents = 400;
+
+  FuzzWorkload(Scheduler& sim, std::uint64_t seed) : sim_(sim), rng_(seed) {}
+
+  void start(int initial) {
+    for (int i = 0; i < initial; ++i) {
+      spawn(rng_.uniform_double(0.0, 5.0));
+    }
+  }
+
+  const std::vector<std::pair<int, double>>& log() const { return log_; }
+
+ private:
+  void spawn(double delay) {
+    const int tag = next_tag_++;
+    // Mix pinned and unpinned events; the pin is a routing hint only.
+    const ShardId shard =
+        rng_.bernoulli(0.3)
+            ? kNoShard
+            : sim_.shard_of(static_cast<std::uint32_t>(tag % 16));
+    ids_.push_back(
+        sim_.schedule_in(delay, shard, [this, tag] { on_event(tag); }));
+  }
+
+  void on_event(int tag) {
+    log_.emplace_back(tag, sim_.now());
+    const auto children = rng_.uniform_int(0, 2);
+    for (std::int64_t c = 0; c < children && next_tag_ < kMaxEvents; ++c) {
+      spawn(rng_.bernoulli(0.25) ? 0.0 : rng_.uniform_double(0.0, 2.0));
+    }
+    if (!ids_.empty() && rng_.bernoulli(0.2)) {
+      const auto k = static_cast<std::size_t>(rng_.uniform_int(
+          0, static_cast<std::int64_t>(ids_.size()) - 1));
+      sim_.cancel(ids_[k]);  // often a no-op (already ran); still logged
+    }
+  }
+
+  Scheduler& sim_;
+  Rng rng_;
+  std::vector<EventId> ids_;
+  std::vector<std::pair<int, double>> log_;
+  int next_tag_ = 0;
+};
+
+std::vector<ShardId> fuzz_shard_map(std::size_t shard_count) {
+  std::vector<ShardId> map(16);
+  for (std::size_t i = 0; i < map.size(); ++i) {
+    map[i] = static_cast<ShardId>(i % shard_count);
+  }
+  return map;
+}
+
+TEST(ShardedScheduler, ExecutionBitIdenticalToSerialUnderFuzz) {
+  for (const std::uint64_t seed : {7ULL, 21ULL, 97ULL}) {
+    SerialScheduler serial;
+    serial.set_shard_map(fuzz_shard_map(1));
+    FuzzWorkload reference(serial, seed);
+    reference.start(24);
+    serial.run_until(60.0);
+    ASSERT_GT(serial.executed_events(), 0u);
+
+    for (const std::size_t shards : {2u, 3u, 8u}) {
+      for (const double window : {0.1, 1.0, 1e6}) {
+        ShardedScheduler sharded(shards, window);
+        sharded.set_shard_map(fuzz_shard_map(shards));
+        FuzzWorkload workload(sharded, seed);
+        workload.start(24);
+        sharded.run_until(60.0);
+        EXPECT_EQ(workload.log(), reference.log())
+            << "seed " << seed << " shards " << shards << " window "
+            << window;
+        EXPECT_EQ(sharded.executed_events(), serial.executed_events());
+        EXPECT_EQ(sharded.scheduled_events(), serial.scheduled_events());
+        EXPECT_EQ(sharded.cancelled_events(), serial.cancelled_events());
+        EXPECT_EQ(sharded.pending_events(), serial.pending_events());
+        EXPECT_DOUBLE_EQ(sharded.now(), serial.now());
+      }
+    }
+  }
+}
+
+TEST(ShardedScheduler, FuzzKeepsWindowMachineryBusy) {
+  // Sanity that the fuzz above actually exercises the sharded paths.
+  ShardedScheduler sharded(4, 0.5);
+  sharded.set_shard_map(fuzz_shard_map(4));
+  FuzzWorkload workload(sharded, 7);
+  workload.start(24);
+  sharded.run_until(60.0);
+  EXPECT_GT(sharded.stats().windows, 0u);
+  EXPECT_GT(sharded.stats().drained, 0u);
+  EXPECT_GT(sharded.stats().handoffs + sharded.stats().live_reroutes, 0u);
+}
+
+}  // namespace
+}  // namespace propsim

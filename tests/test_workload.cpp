@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "core/prop_engine.h"
+#include "sim/simulator.h"
 #include "fixtures.h"
 #include "workload/churn.h"
 #include "workload/heterogeneity.h"

@@ -503,6 +503,75 @@ class DeterminismTodoRule final : public Rule {
   }
 };
 
+// ------------------------------------------- D9 cross-shard-capture
+class CrossShardCaptureRule final : public Rule {
+ public:
+  std::string_view id() const override { return "D9"; }
+  std::string_view name() const override { return "cross-shard-capture"; }
+  std::string_view description() const override {
+    return "default [&] capture in a shard-pinned schedule_at/schedule_in "
+           "call: the callback may cross a shard handoff, so every "
+           "implicitly borrowed local is a use-after-scope or shared-"
+           "mutation hazard the reviewer cannot see";
+  }
+  std::string_view hint() const override {
+    return "capture explicitly ([this, x, ...]) so the cross-shard "
+           "callback's state footprint is visible and reviewable";
+  }
+  bool applicable(const FileScan&) const override { return true; }
+  void check(const FileScan& file,
+             std::vector<Finding>& out) const override {
+    const auto& toks = file.tokens;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (!is_ident(toks[i], "schedule_at") &&
+          !is_ident(toks[i], "schedule_in")) {
+        continue;
+      }
+      if (!is_punct(toks[i + 1], "(")) continue;
+      // Walk the argument list. Only the three-argument (shard-pinned)
+      // overload is in scope: count commas at argument level and
+      // remember any default by-reference lambda intro ([&] or [&, ..])
+      // seen there. Nested parens, capture lists, and lambda bodies are
+      // depth-tracked so their commas don't count.
+      int paren = 1;
+      int bracket = 0;
+      int brace = 0;
+      int commas = 0;
+      std::vector<int> capture_lines;
+      for (std::size_t j = i + 2; j < toks.size() && paren > 0; ++j) {
+        if (is_punct(toks[j], "(")) {
+          ++paren;
+        } else if (is_punct(toks[j], ")")) {
+          --paren;
+        } else if (is_punct(toks[j], "{")) {
+          ++brace;
+        } else if (is_punct(toks[j], "}")) {
+          --brace;
+        } else if (is_punct(toks[j], "[")) {
+          if (paren == 1 && brace == 0 && bracket == 0 &&
+              j + 2 < toks.size() && is_punct(toks[j + 1], "&") &&
+              (is_punct(toks[j + 2], "]") || is_punct(toks[j + 2], ","))) {
+            capture_lines.push_back(toks[j].line);
+          }
+          ++bracket;
+        } else if (is_punct(toks[j], "]")) {
+          --bracket;
+        } else if (paren == 1 && brace == 0 && bracket == 0 &&
+                   is_punct(toks[j], ",")) {
+          ++commas;
+        }
+      }
+      if (commas < 2) continue;  // two-argument overload: shard-local
+      for (const int line : capture_lines) {
+        emit(*this, file, line,
+             "default [&] capture in shard-pinned " + toks[i].text +
+                 " callback",
+             out);
+      }
+    }
+  }
+};
+
 // ---------------------------------------------------- S1 pragma-once
 class PragmaOnceRule final : public Rule {
  public:
@@ -678,6 +747,7 @@ void register_builtin_rules() {
     reg.add(std::make_unique<LockAcrossSubmitRule>());
     reg.add(std::make_unique<UnderivedRngSeedRule>());
     reg.add(std::make_unique<DeterminismTodoRule>());
+    reg.add(std::make_unique<CrossShardCaptureRule>());
     reg.add(std::make_unique<PragmaOnceRule>());
     reg.add(std::make_unique<IncludeHygieneRule>());
     reg.add(std::make_unique<SuppressionSyntaxRule>());
