@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <thread>
 
 #include "workload/host_selection.h"
 
@@ -48,6 +50,25 @@ void print_csv_block(const std::string& name, const std::string& csv) {
 void print_verdict(bool holds, const std::string& detail) {
   std::printf("verdict: %s — %s\n\n", holds ? "HOLDS" : "DIVERGES",
               detail.c_str());
+}
+
+Json hardware_info() {
+  Json hw = Json::object();
+  hw.set("cores",
+         static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+  std::string model = "unknown";
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    if (line.rfind("model name", 0) != 0) continue;
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) break;
+    auto begin = line.find_first_not_of(" \t", colon + 1);
+    if (begin != std::string::npos) model = line.substr(begin);
+    break;
+  }
+  hw.set("model", model);
+  return hw;
 }
 
 PropParams paper_prop_params(PropMode mode) {

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "common/rng.h"
 #include "common/timeseries.h"
 #include "core/params.h"
@@ -48,6 +49,14 @@ void print_csv_block(const std::string& name, const std::string& csv);
 
 /// Prints the final verdict line.
 void print_verdict(bool holds, const std::string& detail);
+
+/// Host description stanza every BENCH_*.json embeds under "hardware":
+/// {"cores": N, "model": "..."}. CI's perf gates key the baseline tier
+/// (bench/baselines/1core/ vs multicore/) off `cores`, and the compare
+/// tool treats it as informational (never a regression) while
+/// `--require-metric hardware.cores` proves the stanza survives schema
+/// churn. `model` is a string, invisible to the numeric flattener.
+Json hardware_info();
 
 /// A prepared world: physical topology + oracle. Heavy, build once per
 /// scenario. The oracle uses the exact hierarchical transit-stub engine,

@@ -12,11 +12,16 @@
 // convergence-snapshot workload (capture an OverlaySnapshot, evaluate
 // the batched lookup + direct metrics over a fixed query set, repeat
 // per snapshot tick) at overlay sizes ~1k/10k/50k across 1/2/4/8
-// worker threads, asserting the sampled series are bit-identical for
-// every thread count. Results go to BENCH_measure.json (stable schema
-// `propsim.bench.measure`, version 1). The >= 2.5x speedup-at-4-threads
-// gate at the 10k scale is checked only when the host exposes >= 4
-// hardware threads (CI runners do; a 1-core dev box runs it
+// worker threads and both flood kernels, asserting the sampled series
+// are bit-identical for every thread count within a kernel. Results go
+// to BENCH_measure.json (stable schema `propsim.bench.measure`,
+// version 2: adds the `hardware` stanza, the fast-kernel rows, and the
+// serial fast-vs-exact gate). Two gates run at the 10k scale: the
+// delta-stepping fast kernel must beat the exact binary-heap kernel by
+// >= 1.5x serially (checked on any host — no extra cores needed) and
+// must stay within 1e-6 relative error of it; the >= 2.5x
+// speedup-at-4-threads gate is checked only when the host exposes >= 4
+// hardware threads (CI multicore runners do; a 1-core dev box runs it
 // informationally).
 //
 // `--quick` shrinks query counts and skips the 50k scale so the bench
@@ -29,6 +34,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -196,17 +202,26 @@ struct SweepTiming {
   std::vector<double> direct_series;
 };
 
-/// Times the convergence-snapshot workload at one thread count: a
-/// batched ConvergenceSampler whose prepare hook captures a fresh
-/// OverlaySnapshot each tick and whose two metrics (flood lookup
-/// latency + direct latency over a fixed query set) run on one
-/// MeasureEngine. Pool spawn is excluded from the timed region.
-SweepTiming time_sweeps(std::size_t threads, const OverlayNetwork& net,
+/// Times the convergence-snapshot workload at one thread count and
+/// flood kernel: a batched ConvergenceSampler whose prepare hook
+/// captures a fresh OverlaySnapshot each tick and whose two metrics
+/// (flood lookup latency + direct latency over a fixed query set) run
+/// on one MeasureEngine. Pool spawn, engine scratch growth, and series
+/// storage are all excluded from the timed region by one untimed
+/// warmup sweep — the timer covers the steady-state per-tick cost, not
+/// first-touch allocation.
+SweepTiming time_sweeps(std::size_t threads, MeasureMode mode,
+                        const OverlayNetwork& net,
                         std::span<const QueryPair> queries,
                         std::size_t snapshots) {
-  MeasureEngine engine(threads);
+  MeasureEngine engine(threads, mode);
   Simulator sim;
-  OverlaySnapshot snap;
+  OverlaySnapshot snap = OverlaySnapshot::capture(net);
+  // Untimed warmup: sizes the per-thread flood scratch, the engine's
+  // run/average buffers, and (fast mode) the bucket queue, so the timed
+  // region below never pays a first-touch allocation.
+  (void)engine.average_lookup_latency(snap, queries);
+  (void)engine.average_direct_latency(net, queries);
   std::vector<ConvergenceSampler::NamedMetric> metrics;
   metrics.push_back({"lookup_ms", [&] {
                        return engine.average_lookup_latency(snap, queries);
@@ -217,6 +232,8 @@ SweepTiming time_sweeps(std::size_t threads, const OverlayNetwork& net,
   const double interval_s = 60.0;
   const double end_s = interval_s * static_cast<double>(snapshots - 1);
   SweepTiming t;
+  t.lookup_series.reserve(snapshots);
+  t.direct_series.reserve(snapshots);
   const double start = now_ms();
   ConvergenceSampler sampler(
       sim, 0.0, end_s, interval_s,
@@ -230,6 +247,22 @@ SweepTiming time_sweeps(std::size_t threads, const OverlayNetwork& net,
     t.direct_series.push_back(p.value);
   }
   return t;
+}
+
+/// Max elementwise relative error between two sampled series (0 when
+/// both entries are equal, including the both-infinite case).
+double max_rel_error(const std::vector<double>& exact,
+                     const std::vector<double>& fast) {
+  if (exact.size() != fast.size()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double worst = 0.0;
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    if (exact[i] == fast[i]) continue;  // covers inf == inf
+    const double denom = std::max(std::fabs(exact[i]), 1e-300);
+    worst = std::max(worst, std::fabs(fast[i] - exact[i]) / denom);
+  }
+  return worst;
 }
 
 /// Pre-engine cost reference: the old serial metric path — one
@@ -266,11 +299,54 @@ double legacy_serial_ms(const OverlayNetwork& net,
   return wall;
 }
 
-/// Part two driver: runs the thread matrix per scale, asserts the
-/// sampled series are bit-identical across thread counts, and writes
-/// BENCH_measure.json. The speedup gate needs real cores, so it is
-/// exercised only when the host exposes >= 4 hardware threads; the
-/// determinism check always counts toward `pass`.
+/// Runs the 1/2/4/8 thread matrix for one kernel, checking that every
+/// parallel run reproduces the serial series bit-for-bit. Returns the
+/// serial timing; fills the JSON row list plus the 4-thread speedup.
+SweepTiming run_thread_matrix(MeasureMode mode, const OverlayNetwork& net,
+                              std::span<const QueryPair> queries,
+                              std::size_t snapshots, Json& trow_list,
+                              double* out_speedup_4t, bool* out_identical) {
+  const std::size_t thread_counts[] = {1, 2, 4, 8};
+  SweepTiming serial;
+  double serial_ms = 0.0;
+  *out_speedup_4t = 0.0;
+  *out_identical = true;
+  for (const std::size_t threads : thread_counts) {
+    const SweepTiming t = time_sweeps(threads, mode, net, queries, snapshots);
+    if (threads == 1) {
+      serial = t;
+      serial_ms = t.wall_ms;
+    } else {
+      *out_identical = *out_identical &&
+                       t.lookup_series == serial.lookup_series &&
+                       t.direct_series == serial.direct_series;
+    }
+    const double speedup = t.wall_ms > 0.0 ? serial_ms / t.wall_ms : 0.0;
+    if (threads == 4) *out_speedup_4t = speedup;
+    const double sweeps_per_s =
+        t.wall_ms > 0.0 ? 1000.0 * static_cast<double>(snapshots) / t.wall_ms
+                        : 0.0;
+    std::printf("  %s threads %zu: %.0f ms (%.2f sweeps/s, %.2fx vs "
+                "serial)\n",
+                to_string(mode), threads, t.wall_ms, sweeps_per_s, speedup);
+    Json trow = Json::object();
+    trow.set("threads", static_cast<std::uint64_t>(threads))
+        .set("wall_ms", t.wall_ms)
+        .set("sweeps_per_s", sweeps_per_s)
+        .set("speedup_vs_serial", speedup);
+    trow_list.push_back(std::move(trow));
+  }
+  return serial;
+}
+
+/// Part two driver: runs the exact and fast thread matrices per scale,
+/// asserts the sampled series are bit-identical across thread counts
+/// within each kernel, and writes BENCH_measure.json (schema v2). The
+/// fast-kernel gates (>= 1.5x serial speedup and <= 1e-6 relative
+/// error at the 10k scale) run on any host; the 4-thread speedup gate
+/// needs real cores, so it is exercised only when the host exposes
+/// >= 4 hardware threads. The determinism checks always count toward
+/// `pass`.
 bool run_measure(const BenchOptions& opts, bool* out_pass,
                  bool* out_gate_checked) {
   std::printf("\nmeasurement-engine scaling (convergence-snapshot "
@@ -285,18 +361,22 @@ bool run_measure(const BenchOptions& opts, bool* out_pass,
 
   const std::size_t cores = std::thread::hardware_concurrency();
   constexpr double kMinSpeedup4t = 2.5;
-  const std::size_t thread_counts[] = {1, 2, 4, 8};
+  constexpr double kMinFastSerialSpeedup = 1.5;
+  constexpr double kMaxFastRelError = 1e-6;
 
   bool pass = true;
   bool gate_checked = false;
+  bool fast_gate_checked = false;
 
   Json doc = Json::object();
   doc.set("schema", "propsim.bench.measure");
-  doc.set("version", 1);
+  doc.set("version", 2);
   doc.set("quick", opts.quick);
   doc.set("seed", opts.seed);
-  doc.set("cores", static_cast<std::uint64_t>(cores));
+  doc.set("hardware", hardware_info());
   doc.set("min_speedup_4t", kMinSpeedup4t);
+  doc.set("min_fast_serial_speedup", kMinFastSerialSpeedup);
+  doc.set("max_fast_rel_error", kMaxFastRelError);
   Json rows = Json::array();
 
   for (const MeasureScale& scale : scales) {
@@ -322,41 +402,45 @@ bool run_measure(const BenchOptions& opts, bool* out_pass,
 
     const double legacy_ms = legacy_serial_ms(net, queries, snapshots);
 
-    Json trow_list = Json::array();
-    SweepTiming serial;
-    double serial_ms = 0.0;
-    double speedup_4t = 0.0;
-    bool identical = true;
-    for (const std::size_t threads : thread_counts) {
-      const SweepTiming t = time_sweeps(threads, net, queries, snapshots);
-      if (threads == 1) {
-        serial = t;
-        serial_ms = t.wall_ms;
-      } else {
-        identical = identical && t.lookup_series == serial.lookup_series &&
-                    t.direct_series == serial.direct_series;
-      }
-      const double speedup = t.wall_ms > 0.0 ? serial_ms / t.wall_ms : 0.0;
-      if (threads == 4) speedup_4t = speedup;
-      const double sweeps_per_s =
-          t.wall_ms > 0.0
-              ? 1000.0 * static_cast<double>(snapshots) / t.wall_ms
-              : 0.0;
-      std::printf("  threads %zu: %.0f ms (%.2f sweeps/s, %.2fx vs "
-                  "serial)\n",
-                  threads, t.wall_ms, sweeps_per_s, speedup);
-      Json trow = Json::object();
-      trow.set("threads", static_cast<std::uint64_t>(threads))
-          .set("wall_ms", t.wall_ms)
-          .set("sweeps_per_s", sweeps_per_s)
-          .set("speedup_vs_serial", speedup);
-      trow_list.push_back(std::move(trow));
-    }
+    Json exact_rows = Json::array();
+    double exact_speedup_4t = 0.0;
+    bool exact_identical = true;
+    const SweepTiming exact_serial =
+        run_thread_matrix(MeasureMode::kExact, net, queries, snapshots,
+                          exact_rows, &exact_speedup_4t, &exact_identical);
+
+    Json fast_rows = Json::array();
+    double fast_speedup_4t = 0.0;
+    bool fast_identical = true;
+    const SweepTiming fast_serial =
+        run_thread_matrix(MeasureMode::kFast, net, queries, snapshots,
+                          fast_rows, &fast_speedup_4t, &fast_identical);
+
+    const double fast_speedup_serial =
+        fast_serial.wall_ms > 0.0
+            ? exact_serial.wall_ms / fast_serial.wall_ms
+            : 0.0;
+    const double rel_error =
+        max_rel_error(exact_serial.lookup_series, fast_serial.lookup_series);
+    // The direct metric never floods, so it is kernel-independent.
+    const bool direct_equal =
+        exact_serial.direct_series == fast_serial.direct_series;
+    std::printf("  fast vs exact serial: %.2fx, max lookup rel error %.3g, "
+                "direct series %s\n",
+                fast_speedup_serial, rel_error,
+                direct_equal ? "identical" : "DIVERGED");
+
+    const bool identical = exact_identical && fast_identical;
     if (!identical) {
       std::printf("  DETERMINISM VIOLATION: parallel series differ from "
                   "serial\n");
     }
-    pass = pass && identical;
+    pass = pass && identical && direct_equal;
+    if (rel_error > kMaxFastRelError) {
+      std::printf("  fast equivalence gate FAILED: rel error %.3g > %.0e\n",
+                  rel_error, kMaxFastRelError);
+      pass = false;
+    }
 
     Json row = Json::object();
     row.set("scale", scale.name)
@@ -366,18 +450,32 @@ bool run_measure(const BenchOptions& opts, bool* out_pass,
         .set("queries", static_cast<std::uint64_t>(query_count))
         .set("snapshots", static_cast<std::uint64_t>(snapshots))
         .set("legacy_serial_ms", legacy_ms)
-        .set("engine_serial_ms", serial_ms)
-        .set("threads", std::move(trow_list))
+        .set("engine_serial_ms", exact_serial.wall_ms)
+        .set("fast_serial_ms", fast_serial.wall_ms)
+        .set("fast_speedup_serial", fast_speedup_serial)
+        .set("fast_max_rel_error", rel_error)
+        .set("threads", std::move(exact_rows))
+        .set("fast_threads", std::move(fast_rows))
         .set("identical", identical);
 
-    if (scale.name == "10k" && cores >= 4) {
-      gate_checked = true;
-      row.set("gate_speedup_4t", speedup_4t);
-      if (speedup_4t < kMinSpeedup4t) {
-        std::printf("  10k measure gate FAILED: %.2fx < %.2fx at 4 "
-                    "threads\n",
-                    speedup_4t, kMinSpeedup4t);
+    if (scale.name == "10k") {
+      fast_gate_checked = true;
+      row.set("gate_fast_speedup_serial", fast_speedup_serial);
+      if (fast_speedup_serial < kMinFastSerialSpeedup) {
+        std::printf("  10k fast-kernel gate FAILED: %.2fx < %.2fx "
+                    "serially\n",
+                    fast_speedup_serial, kMinFastSerialSpeedup);
         pass = false;
+      }
+      if (cores >= 4) {
+        gate_checked = true;
+        row.set("gate_speedup_4t", exact_speedup_4t);
+        if (exact_speedup_4t < kMinSpeedup4t) {
+          std::printf("  10k measure gate FAILED: %.2fx < %.2fx at 4 "
+                      "threads\n",
+                      exact_speedup_4t, kMinSpeedup4t);
+          pass = false;
+        }
       }
     }
     rows.push_back(std::move(row));
@@ -385,6 +483,7 @@ bool run_measure(const BenchOptions& opts, bool* out_pass,
 
   doc.set("scales", std::move(rows));
   doc.set("gate_checked", gate_checked);
+  doc.set("gate_fast_serial_checked", fast_gate_checked);
   doc.set("pass", pass);
 
   const std::string out = doc.dump(2);
@@ -425,6 +524,7 @@ int run(const BenchOptions& opts) {
   doc.set("version", 1);
   doc.set("quick", opts.quick);
   doc.set("seed", opts.seed);
+  doc.set("hardware", hardware_info());
   Json rows = Json::array();
 
   // Generous ceilings for the CI perf smoke gate, checked at the 10k

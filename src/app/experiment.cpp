@@ -12,6 +12,7 @@
 #include "core/prop_engine.h"
 #include "gnutella/gnutella.h"
 #include "measure/measure_engine.h"
+#include "measure/snapshot_cache.h"
 #include "metrics/convergence.h"
 #include "metrics/metrics.h"
 #include "pastry/pastry.h"
@@ -40,7 +41,7 @@ constexpr const char* kKnownKeys[] = {
     "fraction_fast_dest", "churn_join_rate", "churn_leave_rate",
     "churn_fail_rate", "churn_start",       "churn_end",
     "oracle",          "oracle_cache_rows", "measure_threads",
-    "sim_shards",      "shard_window",
+    "measure_mode",    "sim_shards",        "shard_window",
     "trace",
     "trace_buffer",    "fault_loss",        "fault_jitter",
     "fault_crash",     "fault_max_retries", "fault_partition_domain",
@@ -210,6 +211,15 @@ const char* to_string(ExperimentSpec::OracleMode v) {
   return "?";
 }
 
+const char* to_string(ExperimentSpec::MeasureMode v) {
+  switch (v) {
+    case ExperimentSpec::MeasureMode::kAuto: return "auto";
+    case ExperimentSpec::MeasureMode::kExact: return "exact";
+    case ExperimentSpec::MeasureMode::kFast: return "fast";
+  }
+  return "?";
+}
+
 const ExperimentSpec& SpecResult::spec() const {
   PROPSIM_CHECK(ok() && "SpecResult::spec() on a failed parse");
   return spec_storage;
@@ -357,6 +367,21 @@ SpecResult ExperimentSpec::from_config(const Config& config) {
         spec.measure_threads = static_cast<std::size_t>(v);
       }
     }
+  }
+
+  spec.measure_mode = p.get_enum<MeasureMode>(
+      "measure_mode",
+      {{"auto", MeasureMode::kAuto},
+       {"exact", MeasureMode::kExact},
+       {"fast", MeasureMode::kFast}},
+      MeasureMode::kAuto);
+  if (spec.measure_mode == MeasureMode::kFast &&
+      spec.overlay != Overlay::kGnutella) {
+    p.error("measure_mode",
+            "fast accelerates the unstructured flood kernel and requires "
+            "overlay = gnutella",
+            std::string("overlay is ") + to_string(spec.overlay) +
+                "; stretch metrics route instead of flooding");
   }
 
   if (config.has("sim_shards")) {
@@ -545,6 +570,13 @@ ExperimentResult::counters() const {
       {"sim_events_executed", sim_events_executed},
       {"sim_events_scheduled", sim_events_scheduled},
       {"sim_events_cancelled", sim_events_cancelled},
+      // v5: measurement-engine counters — flood counts are invariant
+      // across measure_threads and sim_shards; the capture/reuse split
+      // depends on the trace build mode (OFF builds never reuse).
+      {"measure_exact_floods", measure_exact_floods},
+      {"measure_fast_floods", measure_fast_floods},
+      {"measure_snapshot_captures", measure_snapshot_captures},
+      {"measure_snapshot_reuses", measure_snapshot_reuses},
   };
 }
 
@@ -789,30 +821,64 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   // Measurement engine for the metric sweeps. measure_threads is a pure
   // execution knob: results are bit-identical to the serial path for
   // any value (golden-tested), which is why it is not echoed into the
-  // result JSON.
-  MeasureEngine measure(spec.measure_threads);
+  // result JSON. measure_mode selects the flood kernel and IS echoed —
+  // the fast kernel's values carry (bounded) quantization error.
+  MeasureEngine measure(spec.measure_threads,
+                        spec.resolved_measure_mode() ==
+                                ExperimentSpec::MeasureMode::kFast
+                            ? MeasureMode::kFast
+                            : MeasureMode::kExact);
 
-  // Metric closure. The slot-delay view is re-materialized per sample
-  // because PROP-G moves hosts and churn rebinds slots; each sample
-  // captures one immutable snapshot, so worker threads never touch live
+  // Snapshot reuse across sample ticks: the cache recaptures only when
+  // the topology version moved. The version is the sum of the bus's
+  // topology-affecting event counts — every mutation of the overlay
+  // graph, placement or partition state emits at least one of these, and
+  // counts only grow, so an unchanged sum proves an unchanged overlay.
+  // In a PROPSIM_TRACE=OFF build the counters cannot witness anything;
+  // the fallback version bumps every call so the cache conservatively
+  // recaptures (values are identical either way — reuse is pure
+  // caching — matching the trace-off bit-identity contract).
+  SnapshotCache snap_cache([&net, &flood_filter] {
+    return OverlaySnapshot::capture(*net,
+                                    flood_filter ? &flood_filter : nullptr);
+  });
+  std::uint64_t untracked_version = 0;
+  auto topology_version = [&]() -> std::uint64_t {
+    if (!obs::trace_compiled_in()) return ++untracked_version;
+    using K = obs::TraceEventKind;
+    return bus.count(K::kExchangeCommit) + bus.count(K::kJoin) +
+           bus.count(K::kLeave) + bus.count(K::kFail) +
+           bus.count(K::kLtmRound) + bus.count(K::kFaultCrash) +
+           bus.count(K::kPartitionStart) + bus.count(K::kPartitionEnd);
+  };
+
+  // Per-tick shared state + metric closure, in the sampler's batched
+  // form. The slot-delay view is re-materialized per sample because
+  // PROP-G moves hosts and churn rebinds slots; each sample works
+  // against one immutable snapshot, so worker threads never touch live
   // sim state and the partition filter is baked into the adjacency.
+  // Query regeneration stays unconditional under membership churn (it
+  // consumes qrng; skipping a tick would shift every later draw).
   ExperimentResult result;
   const bool structured = spec.overlay != ExperimentSpec::Overlay::kGnutella;
   result.metric_name = structured ? "stretch" : "lookup_ms";
-  auto metric = [&]() -> double {
+  const OverlaySnapshot* snap = nullptr;
+  std::vector<double> proc;
+  const std::vector<double>* proc_ptr = nullptr;
+  auto prepare = [&] {
     if (membership_changes) queries = make_queries();
-    std::vector<double> proc;
-    const std::vector<double>* proc_ptr = nullptr;
     if (delays) {
       proc = delays->slot_delays(*net);
       proc_ptr = &proc;
     }
+    if (spec.overlay == ExperimentSpec::Overlay::kGnutella) {
+      snap = &snap_cache.at(topology_version());
+    }
+  };
+  auto metric = [&]() -> double {
     switch (spec.overlay) {
-      case ExperimentSpec::Overlay::kGnutella: {
-        const OverlaySnapshot snap = OverlaySnapshot::capture(
-            *net, flood_filter ? &flood_filter : nullptr);
-        return measure.average_lookup_latency(snap, queries, proc_ptr);
-      }
+      case ExperimentSpec::Overlay::kGnutella:
+        return measure.average_lookup_latency(*snap, queries, proc_ptr);
       case ExperimentSpec::Overlay::kChord:
         return measure
             .stretch(*net, queries, chord_router(*net, *chord, proc_ptr))
@@ -944,8 +1010,9 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
                            ParanoidAuditHooks{faults.get(), prop.get()});
   }
 
-  ConvergenceSampler sampler(sim, result.metric_name, 0.0, spec.horizon_s,
-                             spec.sample_interval_s, metric);
+  ConvergenceSampler sampler(
+      sim, 0.0, spec.horizon_s, spec.sample_interval_s, prepare,
+      {ConvergenceSampler::NamedMetric{result.metric_name, metric}});
   if (faults) faults->start();
   if (traffic) traffic->start();
   if (prop) prop->start();
@@ -983,6 +1050,10 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   result.sim_events_executed = sim.executed_events();
   result.sim_events_scheduled = sim.scheduled_events();
   result.sim_events_cancelled = sim.cancelled_events();
+  result.measure_exact_floods = measure.stats().exact_floods;
+  result.measure_fast_floods = measure.stats().fast_floods;
+  result.measure_snapshot_captures = snap_cache.captures();
+  result.measure_snapshot_reuses = snap_cache.reuses();
   result.control_messages = net->traffic().control_total();
   if (churn) {
     result.churn_joins = churn->joins();

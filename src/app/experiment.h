@@ -29,6 +29,12 @@
 //   measure_threads = auto | <int>   (metric-sweep worker threads;
 //                          0/1 = serial, results bit-identical for any
 //                          value)
+//   measure_mode = auto | exact | fast   (flood kernel for the metric
+//                          sweeps; exact = bit-identical binary-heap
+//                          Dijkstra, fast = fixed-point bucket queue
+//                          with <= 1e-6 relative latency error; auto
+//                          resolves to exact; fast requires
+//                          overlay = gnutella)
 //   sim_shards = auto | <int>   (event-core shards; 0/1 = serial
 //                          scheduler, auto = one per stub domain capped
 //                          at hardware threads, results bit-identical
@@ -121,6 +127,24 @@ struct ExperimentSpec {
       static_cast<std::size_t>(-1);
   std::size_t measure_threads = 1;
 
+  /// Flood-kernel selection for the metric sweeps. kExact runs the
+  /// binary-heap Dijkstra whose results are bit-identical to the live
+  /// flood (the golden-JSON contract); kFast runs the fixed-point
+  /// bucket-queue kernel — deterministic at any thread count, but its
+  /// latencies carry quantization error (bounded, <= 1e-6 relative on
+  /// paper-scale configs; equivalence-tested). kAuto resolves to kExact
+  /// so existing configs keep byte-identical results. Unlike
+  /// measure_threads this is NOT a pure execution knob, so the resolved
+  /// mode is echoed into the result JSON. kFast requires the
+  /// unstructured gnutella overlay (stretch metrics never flood).
+  enum class MeasureMode { kAuto, kExact, kFast };
+  MeasureMode measure_mode = MeasureMode::kAuto;
+  /// The mode a run actually uses (kAuto resolved; never returns kAuto).
+  MeasureMode resolved_measure_mode() const {
+    return measure_mode == MeasureMode::kAuto ? MeasureMode::kExact
+                                              : measure_mode;
+  }
+
   /// Event-core shards for the discrete-event scheduler: 0 or 1 =
   /// SerialScheduler, N > 1 = ShardedScheduler with N event heaps,
   /// kSimShardsAuto = one shard per stub domain capped at hardware
@@ -155,6 +179,7 @@ const char* to_string(ExperimentSpec::Overlay v);
 const char* to_string(ExperimentSpec::Protocol v);
 const char* to_string(ExperimentSpec::Heterogeneity v);
 const char* to_string(ExperimentSpec::OracleMode v);
+const char* to_string(ExperimentSpec::MeasureMode v);
 
 /// One problem found while parsing a config into an ExperimentSpec.
 struct SpecIssue {
@@ -190,7 +215,14 @@ struct ExperimentResult {
   /// v4: added the scheduler counters (sim_events_executed,
   /// sim_events_scheduled, sim_events_cancelled) — all invariant across
   /// sim_shards values; v1-v3 names are unchanged.
-  static constexpr int kCountersVersion = 4;
+  /// v5: added the measurement counters (measure_exact_floods,
+  /// measure_fast_floods, measure_snapshot_captures,
+  /// measure_snapshot_reuses) — flood counts are invariant across
+  /// measure_threads and sim_shards; the snapshot split between
+  /// captures and reuses depends on the trace build mode (OFF builds
+  /// never reuse), like trace_events already does. v1-v4 names are
+  /// unchanged.
+  static constexpr int kCountersVersion = 5;
 
   /// "lookup_ms" for unstructured overlays, "stretch" for DHTs.
   std::string metric_name;
@@ -219,6 +251,18 @@ struct ExperimentResult {
   std::uint64_t sim_events_executed = 0;
   std::uint64_t sim_events_scheduled = 0;
   std::uint64_t sim_events_cancelled = 0;
+  /// Measurement-engine totals. Flood counts tally one per distinct
+  /// query source per sample tick (zero for stretch metrics, which
+  /// route instead of flooding); exactly one of the two is non-zero for
+  /// an unstructured run, naming the kernel that ran. Snapshot captures
+  /// + reuses sum to the sample count on unstructured runs; reuses stay
+  /// zero in a PROPSIM_TRACE=OFF build (the bus cannot prove the
+  /// overlay unchanged) and in the exact sense never affect values —
+  /// a reused snapshot is byte-identical to the capture it skipped.
+  std::uint64_t measure_exact_floods = 0;
+  std::uint64_t measure_fast_floods = 0;
+  std::uint64_t measure_snapshot_captures = 0;
+  std::uint64_t measure_snapshot_reuses = 0;
   bool connected = false;
   std::size_t final_population = 0;
 

@@ -27,7 +27,8 @@ Json experiment_result_json(const ExperimentSpec& spec,
       .set("horizon_s", spec.horizon_s)
       .set("sample_interval_s", spec.sample_interval_s)
       .set("queries", static_cast<std::uint64_t>(spec.queries))
-      .set("oracle", to_string(spec.oracle_mode));
+      .set("oracle", to_string(spec.oracle_mode))
+      .set("measure_mode", to_string(spec.resolved_measure_mode()));
   out.set("spec", std::move(spec_json));
 
   Json metric = Json::object();
@@ -54,6 +55,18 @@ Json experiment_result_json(const ExperimentSpec& spec,
       .set("events_scheduled", result.sim_events_scheduled)
       .set("events_cancelled", result.sim_events_cancelled);
   out.set("sim", std::move(sim));
+
+  // Measurement stanza (additive). The resolved kernel plus its work
+  // counters; flood counts are invariant across measure_threads and
+  // sim_shards, and the capture/reuse split — like the trace counters —
+  // depends only on the trace build mode, never on thread counts.
+  Json measure = Json::object();
+  measure.set("mode", to_string(spec.resolved_measure_mode()))
+      .set("exact_floods", result.measure_exact_floods)
+      .set("fast_floods", result.measure_fast_floods)
+      .set("snapshot_captures", result.measure_snapshot_captures)
+      .set("snapshot_reuses", result.measure_snapshot_reuses);
+  out.set("measure", std::move(measure));
 
   // Observability summary (additive; schema stays v1). Per-phase kind
   // counts only list non-zero kinds to keep small results small.

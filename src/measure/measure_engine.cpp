@@ -1,6 +1,7 @@
 #include "measure/measure_engine.h"
 
 #include <algorithm>
+#include <bit>
 #include <future>
 #include <limits>
 #include <numeric>
@@ -10,7 +11,31 @@ namespace propsim {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Bucket width for the fast kernel, as a shift of fx distances. Width
+/// 2^shift <= the snapshot's minimum edge weight guarantees the Dial
+/// invariant — no relaxation lands back in the bucket being drained —
+/// which is what lets the kernel settle each node on first pop. The
+/// clamp bounds the bucket count for degenerate snapshots (sub-64us
+/// edges); below the invariant the kernel drops the settled shortcut
+/// and drains each bucket to a fixpoint instead, which is slower but
+/// still exact over the quantized weights.
+constexpr int kMinBucketShift = 16;  // 2^16 fx = 62.5 us buckets
+constexpr int kMaxBucketShift = 26;  // 2^26 fx = 64 ms buckets
+
+int bucket_shift_for(std::uint32_t min_edge_fx) {
+  const int width = min_edge_fx == 0 ? 1 : std::bit_width(min_edge_fx);
+  return std::clamp(width - 1, kMinBucketShift, kMaxBucketShift);
+}
 }  // namespace
+
+const char* to_string(MeasureMode mode) {
+  switch (mode) {
+    case MeasureMode::kExact: return "exact";
+    case MeasureMode::kFast: return "fast";
+  }
+  return "?";
+}
 
 void MeasureScratch::begin(std::size_t n) {
   if (stamp.size() != n) {
@@ -28,6 +53,28 @@ void MeasureScratch::begin(std::size_t n) {
 double MeasureScratch::distance(SlotId v) const {
   PROPSIM_DCHECK(v < stamp.size());
   return stamp[v] == epoch ? dist[v] : kInf;
+}
+
+void FastMeasureScratch::begin(std::size_t n) {
+  if (stamp.size() != n) {
+    dist_fx.assign(n, 0);
+    stamp.assign(n, 0);
+    done.assign(n, 0);
+    epoch = 0;
+    // Bucket capacity is shaped by path lengths, not slot count; keep it.
+  }
+  if (++epoch == 0) {
+    std::fill(stamp.begin(), stamp.end(), 0u);
+    std::fill(done.begin(), done.end(), 0u);
+    epoch = 1;
+  }
+}
+
+double FastMeasureScratch::distance(SlotId v) const {
+  PROPSIM_DCHECK(v < stamp.size());
+  if (stamp[v] != epoch) return kInf;
+  // dist_fx < 2^53 by a huge margin, so the scale-down is exact.
+  return static_cast<double>(dist_fx[v]) / OverlaySnapshot::kFxPerMs;
 }
 
 void flood_snapshot(const OverlaySnapshot& snap, SlotId source,
@@ -68,15 +115,88 @@ void flood_snapshot(const OverlaySnapshot& snap, SlotId source,
   }
 }
 
-MeasureEngine::MeasureEngine(std::size_t threads) {
+void flood_snapshot_fast(
+    const OverlaySnapshot& snap, SlotId source,
+    const std::vector<std::uint32_t>* processing_delay_fx,
+    FastMeasureScratch& scratch) {
+  PROPSIM_CHECK(snap.fixed_point_ok());
+  PROPSIM_CHECK(snap.is_active(source));
+  if (processing_delay_fx != nullptr) {
+    PROPSIM_CHECK(processing_delay_fx->size() == snap.slot_count());
+  }
+  scratch.begin(snap.slot_count());
+  const std::uint32_t epoch = scratch.epoch;
+  auto& dist = scratch.dist_fx;
+  auto& stamp = scratch.stamp;
+  auto& done = scratch.done;
+  auto& buckets = scratch.buckets;  // all empty: previous run drained them
+  const int shift = bucket_shift_for(snap.min_edge_fx());
+  // Every edge relaxation adds >= min_edge_fx, so when the bucket width
+  // divides under it a node's distance is final the first time it pops
+  // from the current bucket (classic Dial). Otherwise relaxations can
+  // land back in the open bucket; the drain loop below reprocesses them
+  // (the growing-vector scan) until the bucket reaches a fixpoint, so
+  // distances stay exact either way.
+  const bool settle_on_pop =
+      (std::uint64_t{1} << shift) <= snap.min_edge_fx();
+
+  auto push = [&](SlotId v, std::uint64_t d) {
+    const std::size_t b = static_cast<std::size_t>(d >> shift);
+    if (b >= buckets.size()) buckets.resize(b + 1);
+    buckets[b].push_back(v);
+  };
+
+  dist[source] = 0;
+  stamp[source] = epoch;
+  push(source, 0);
+  std::size_t pending = 1;
+  std::size_t b = 0;
+  while (pending > 0) {
+    while (b < buckets.size() && buckets[b].empty()) ++b;
+    PROPSIM_DCHECK(b < buckets.size());
+    // Index loop, re-reading buckets[b] each access: relaxations may
+    // append to this bucket mid-drain, and push() can reallocate the
+    // outer bucket array, so no reference survives an expansion.
+    for (std::size_t i = 0; i < buckets[b].size(); ++i) {
+      const SlotId u = buckets[b][i];
+      --pending;
+      if (done[u] == epoch) continue;  // duplicate of a settled node
+      if ((dist[u] >> shift) != b) continue;  // stale: improved earlier
+      if (settle_on_pop) done[u] = epoch;
+      const std::uint64_t du = dist[u];
+      const auto targets = snap.targets(u);
+      const auto lats = snap.latencies_fx(u);
+      for (std::size_t e = 0; e < targets.size(); ++e) {
+        const SlotId v = targets[e];
+        std::uint64_t cost = lats[e];
+        if (processing_delay_fx != nullptr) {
+          cost += (*processing_delay_fx)[v];
+        }
+        const std::uint64_t candidate = du + cost;
+        if (stamp[v] != epoch || candidate < dist[v]) {
+          dist[v] = candidate;
+          stamp[v] = epoch;
+          push(v, candidate);
+          ++pending;
+        }
+      }
+    }
+    buckets[b].clear();
+  }
+}
+
+MeasureEngine::MeasureEngine(std::size_t threads, MeasureMode mode)
+    : mode_(mode) {
   if (threads == kAutoThreads) {
     threads = std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
   }
   threads_ = std::max<std::size_t>(threads, 1);
   if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_);
   scratch_.reserve(threads_);
+  fast_scratch_.reserve(threads_);
   for (std::size_t i = 0; i < threads_; ++i) {
     scratch_.push_back(std::make_unique<MeasureScratch>());
+    fast_scratch_.push_back(std::make_unique<FastMeasureScratch>());
   }
 }
 
@@ -106,48 +226,91 @@ void MeasureEngine::for_chunks(
   for (auto& f : futures) f.get();  // rethrows the first worker failure
 }
 
-std::vector<double> MeasureEngine::lookup_latencies(
-    const OverlaySnapshot& snap, std::span<const QueryPair> queries,
-    const std::vector<double>* processing_delay_ms) {
+void MeasureEngine::run_lookup(const OverlaySnapshot& snap,
+                               std::span<const QueryPair> queries,
+                               const std::vector<double>* processing_delay_ms,
+                               std::vector<double>& out) {
   // One Dijkstra per distinct source: order query indices by source,
   // then chunk the contiguous same-source runs across the workers. Each
-  // worker writes only out[idx] for its own runs' indices.
-  std::vector<std::size_t> order(queries.size());
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    if (queries[a].src != queries[b].src) {
-      return queries[a].src < queries[b].src;
-    }
-    return a < b;
-  });
-  struct Run {
-    std::size_t begin;
-    std::size_t end;  // half-open range into `order`
-  };
-  std::vector<Run> runs;
-  for (std::size_t i = 0; i < order.size();) {
+  // worker writes only out[idx] for its own runs' indices. order_ and
+  // runs_ are member buffers so a steady-state sweep reallocates
+  // nothing.
+  order_.resize(queries.size());
+  std::iota(order_.begin(), order_.end(), std::size_t{0});
+  std::sort(order_.begin(), order_.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (queries[a].src != queries[b].src) {
+                return queries[a].src < queries[b].src;
+              }
+              return a < b;
+            });
+  runs_.clear();
+  for (std::size_t i = 0; i < order_.size();) {
     std::size_t j = i + 1;
-    while (j < order.size() &&
-           queries[order[j]].src == queries[order[i]].src) {
+    while (j < order_.size() &&
+           queries[order_[j]].src == queries[order_[i]].src) {
       ++j;
     }
-    runs.push_back(Run{i, j});
+    runs_.push_back(Run{i, j});
     i = j;
   }
 
-  std::vector<double> out(queries.size(), 0.0);
-  for_chunks(runs.size(), [&](std::size_t chunk, std::size_t begin,
-                              std::size_t end) {
+  // Kernel choice is a pure function of mode and snapshot: the fast
+  // kernel needs every edge (and processing delay) inside the 32-bit
+  // fixed-point range, and falls back to exact otherwise.
+  bool use_fast = mode_ == MeasureMode::kFast && snap.fixed_point_ok();
+  const std::vector<std::uint32_t>* proc_fx = nullptr;
+  if (use_fast && processing_delay_ms != nullptr) {
+    proc_fx_.resize(processing_delay_ms->size());
+    for (std::size_t i = 0; i < processing_delay_ms->size(); ++i) {
+      const std::uint64_t fx =
+          OverlaySnapshot::quantize_ms((*processing_delay_ms)[i]);
+      if (fx > OverlaySnapshot::kFxMaxEdge) {
+        use_fast = false;
+        break;
+      }
+      proc_fx_[i] = static_cast<std::uint32_t>(fx);
+    }
+    if (use_fast) proc_fx = &proc_fx_;
+  }
+  if (use_fast) {
+    stats_.fast_floods += runs_.size();
+  } else {
+    stats_.exact_floods += runs_.size();
+  }
+
+  out.assign(queries.size(), 0.0);
+  for_chunks(runs_.size(), [&](std::size_t chunk, std::size_t begin,
+                               std::size_t end) {
+    if (use_fast) {
+      FastMeasureScratch& scratch = *fast_scratch_[chunk];
+      for (std::size_t r = begin; r < end; ++r) {
+        const Run& run = runs_[r];
+        flood_snapshot_fast(snap, queries[order_[run.begin]].src, proc_fx,
+                            scratch);
+        for (std::size_t k = run.begin; k < run.end; ++k) {
+          out[order_[k]] = scratch.distance(queries[order_[k]].dst);
+        }
+      }
+      return;
+    }
     MeasureScratch& scratch = *scratch_[chunk];
     for (std::size_t r = begin; r < end; ++r) {
-      const Run& run = runs[r];
-      flood_snapshot(snap, queries[order[run.begin]].src,
+      const Run& run = runs_[r];
+      flood_snapshot(snap, queries[order_[run.begin]].src,
                      processing_delay_ms, scratch);
       for (std::size_t k = run.begin; k < run.end; ++k) {
-        out[order[k]] = scratch.distance(queries[order[k]].dst);
+        out[order_[k]] = scratch.distance(queries[order_[k]].dst);
       }
     }
   });
+}
+
+std::vector<double> MeasureEngine::lookup_latencies(
+    const OverlaySnapshot& snap, std::span<const QueryPair> queries,
+    const std::vector<double>* processing_delay_ms) {
+  std::vector<double> out;
+  run_lookup(snap, queries, processing_delay_ms, out);
   return out;
 }
 
@@ -155,10 +318,10 @@ double MeasureEngine::average_lookup_latency(
     const OverlaySnapshot& snap, std::span<const QueryPair> queries,
     const std::vector<double>* processing_delay_ms) {
   PROPSIM_CHECK(!queries.empty());
-  const auto lat = lookup_latencies(snap, queries, processing_delay_ms);
+  run_lookup(snap, queries, processing_delay_ms, avg_out_);
   double sum = 0.0;
-  for (const double v : lat) sum += v;
-  return sum / static_cast<double>(lat.size());
+  for (const double v : avg_out_) sum += v;
+  return sum / static_cast<double>(avg_out_.size());
 }
 
 std::vector<double> MeasureEngine::route_latencies(

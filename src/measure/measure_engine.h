@@ -15,6 +15,18 @@
 // marks) is allocated once per worker and reused across sources and
 // across snapshots; the epoch stamp makes clearing O(touched), and the
 // IndexedPriorityQueue self-cleans when a run pops it empty.
+//
+// Two flood kernels sit behind the same API:
+//   - kExact: binary-heap Dijkstra over the snapshot's double latencies,
+//     bit-identical to the live flood (the historical behavior);
+//   - kFast: a Dial/delta-stepping bucket queue over 32-bit fixed-point
+//     latencies (OverlaySnapshot::kFxFracBits fractional bits). The
+//     bucket array persists across sweeps via the same epoch-stamping
+//     trick, bucket width is sized from the snapshot's minimum edge
+//     weight, and distances are the exact Dijkstra values in fx units —
+//     so fast results are themselves bit-identical at any thread count,
+//     and differ from the exact kernel only by quantization (relative
+//     error <= 1e-6 on paper-scale latencies; see docs/PERF.md).
 #pragma once
 
 #include <cstdint>
@@ -28,6 +40,12 @@
 #include "measure/query.h"
 
 namespace propsim {
+
+/// Flood-kernel selection for MeasureEngine (the `measure_mode` spec
+/// key, with `auto` already resolved).
+enum class MeasureMode { kExact, kFast };
+
+const char* to_string(MeasureMode mode);
 
 /// Reusable per-worker Dijkstra state. dist[v] is valid only where
 /// stamp[v] == epoch; everything else is implicitly +infinity, so a new
@@ -46,6 +64,25 @@ struct MeasureScratch {
   double distance(SlotId v) const;
 };
 
+/// Reusable per-worker state for the fast bucket-queue kernel. Same
+/// epoch discipline as MeasureScratch; the bucket vectors are drained
+/// empty by every run, so their capacity is what persists across
+/// sweeps (the "epoch-stamped bucket reuse").
+struct FastMeasureScratch {
+  std::vector<std::uint64_t> dist_fx;  // valid where stamp == epoch
+  std::vector<std::uint32_t> stamp;
+  std::vector<std::uint32_t> done;  // settled marks, same epoch
+  std::uint32_t epoch = 0;
+  std::vector<std::vector<SlotId>> buckets;
+
+  /// Resizes for a snapshot of `n` slots and opens a fresh epoch.
+  void begin(std::size_t n);
+
+  /// Distance from the last flood's source to v in ms (+inf if
+  /// unreached). Exact conversion: dist_fx * 2^-20 has no rounding.
+  double distance(SlotId v) const;
+};
+
 /// Single-source shortest latency over a snapshot, bit-identical to
 /// OverlayNetwork::flood_latencies over the live overlay (with the same
 /// link filter applied at capture). Results land in `scratch`; read
@@ -54,17 +91,44 @@ void flood_snapshot(const OverlaySnapshot& snap, SlotId source,
                     const std::vector<double>* processing_delay_ms,
                     MeasureScratch& scratch);
 
+/// Fast fixed-point flood. Requires snap.fixed_point_ok();
+/// `processing_delay_fx`, when given, holds per-slot delays already
+/// quantized with OverlaySnapshot::quantize_ms. Distances are exact
+/// shortest paths over the quantized weights, so the result is a pure
+/// function of the snapshot — independent of thread count and of any
+/// state left by previous runs.
+void flood_snapshot_fast(const OverlaySnapshot& snap, SlotId source,
+                         const std::vector<std::uint32_t>* processing_delay_fx,
+                         FastMeasureScratch& scratch);
+
+/// Deterministic work counters for one engine's lifetime: floods are
+/// counted per distinct source per sweep (before the parallel fan-out),
+/// so values are invariant across thread counts.
+struct MeasureStats {
+  std::uint64_t exact_floods = 0;
+  std::uint64_t fast_floods = 0;
+};
+
 class MeasureEngine {
  public:
   /// Sentinel for "one worker per hardware thread".
   static constexpr std::size_t kAutoThreads = static_cast<std::size_t>(-1);
 
   /// 0 and 1 both mean serial (no pool, no worker threads); kAutoThreads
-  /// resolves to std::thread::hardware_concurrency().
-  explicit MeasureEngine(std::size_t threads = 1);
+  /// resolves to std::thread::hardware_concurrency(). `mode` selects the
+  /// flood kernel; kFast silently falls back to the exact kernel for a
+  /// snapshot whose edges do not fit the fixed-point range (the fallback
+  /// is a property of the snapshot, so it is deterministic too).
+  explicit MeasureEngine(std::size_t threads = 1,
+                         MeasureMode mode = MeasureMode::kExact);
 
   /// Resolved worker count (>= 1).
   std::size_t thread_count() const { return threads_; }
+
+  MeasureMode mode() const { return mode_; }
+
+  /// Flood counts since construction.
+  const MeasureStats& stats() const { return stats_; }
 
   /// Flood first-response latency of each query (queries grouped by
   /// source, one Dijkstra per distinct source, sources chunked over the
@@ -73,7 +137,9 @@ class MeasureEngine {
       const OverlaySnapshot& snap, std::span<const QueryPair> queries,
       const std::vector<double>* processing_delay_ms = nullptr);
 
-  /// Mean of lookup_latencies, reduced in query-index order.
+  /// Mean of lookup_latencies, reduced in query-index order. Unlike
+  /// lookup_latencies this reuses a member result buffer, so a
+  /// steady-state sweep allocates nothing.
   double average_lookup_latency(
       const OverlaySnapshot& snap, std::span<const QueryPair> queries,
       const std::vector<double>* processing_delay_ms = nullptr);
@@ -102,15 +168,37 @@ class MeasureEngine {
                         const RouteLatencyFn& fn);
 
  private:
+  struct Run {
+    std::size_t begin;
+    std::size_t end;  // half-open range into order_
+  };
+
   /// Runs body(chunk, begin, end) over `count` items split into at most
   /// thread_count() contiguous chunks; serial engines run inline.
   void for_chunks(std::size_t count,
                   const std::function<void(std::size_t, std::size_t,
                                            std::size_t)>& body);
 
+  /// Shared implementation of the lookup sweeps: groups queries by
+  /// source into the reusable order_/runs_ buffers, picks the kernel,
+  /// and writes per-query latencies into `out` (resized to fit).
+  void run_lookup(const OverlaySnapshot& snap,
+                  std::span<const QueryPair> queries,
+                  const std::vector<double>* processing_delay_ms,
+                  std::vector<double>& out);
+
   std::size_t threads_;
+  MeasureMode mode_;
+  MeasureStats stats_;
   std::unique_ptr<ThreadPool> pool_;  // null when serial
   std::vector<std::unique_ptr<MeasureScratch>> scratch_;  // one per chunk
+  std::vector<std::unique_ptr<FastMeasureScratch>> fast_scratch_;
+  // Sweep-shaped buffers reused across calls (the engine is not
+  // re-entrant; callers already serialize sweeps).
+  std::vector<std::size_t> order_;
+  std::vector<Run> runs_;
+  std::vector<double> avg_out_;
+  std::vector<std::uint32_t> proc_fx_;
 };
 
 }  // namespace propsim

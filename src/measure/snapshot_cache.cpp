@@ -1,0 +1,26 @@
+#include "measure/snapshot_cache.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace propsim {
+
+SnapshotCache::SnapshotCache(CaptureFn capture)
+    : capture_(std::move(capture)) {
+  PROPSIM_CHECK(capture_ != nullptr);
+}
+
+const OverlaySnapshot& SnapshotCache::at(std::uint64_t version) {
+  if (have_ && version == version_) {
+    ++reuses_;
+    return snap_;
+  }
+  snap_ = capture_();
+  version_ = version;
+  have_ = true;
+  ++captures_;
+  return snap_;
+}
+
+}  // namespace propsim

@@ -100,6 +100,9 @@ std::string CompareReport::render(bool list_all) const {
                   to_string(d.direction));
     out += line;
   }
+  for (const std::string& r : required_failures) {
+    out += "REQUIRED   " + r + "\n";
+  }
   for (const std::string& n : notes) out += "note: " + n + "\n";
   std::snprintf(line, sizeof(line),
                 "%zu metric(s) compared, %zu regression(s)\n", deltas.size(),
@@ -177,6 +180,42 @@ CompareReport compare_metrics(const Json& baseline, const Json& candidate,
   if (missing > 0) {
     report.notes.push_back(std::to_string(missing) +
                            " baseline metric(s) absent from candidate");
+  }
+  std::size_t fresh = 0;
+  for (const auto& [path, value] : cand_metrics) {
+    if (base_metrics.find(path) == base_metrics.end()) ++fresh;
+  }
+  if (fresh > 0) {
+    report.notes.push_back(std::to_string(fresh) +
+                           " candidate metric(s) absent from baseline");
+  }
+
+  // --require-metric: each needle must match a numeric path the
+  // candidate actually carries, and the gate only covers what the
+  // baseline carries too — so a candidate-only match is worth a warning
+  // (a failure under strict_baseline: regenerate the baseline).
+  for (const std::string& needle : options.require_metrics) {
+    bool in_candidate = false;
+    for (const auto& [path, value] : cand_metrics) {
+      if (!contains(path, needle.c_str())) continue;
+      in_candidate = true;
+      if (base_metrics.find(path) != base_metrics.end()) continue;
+      const std::string what = "required metric '" + needle +
+                               "' matches candidate path '" + path +
+                               "' that is missing from the baseline";
+      if (options.strict_baseline) {
+        report.required_failures.push_back(
+            what + " (regenerate the baseline)");
+      } else {
+        report.notes.push_back(what + " (not gated; pass "
+                               "--strict-baseline to fail instead)");
+      }
+    }
+    if (!in_candidate) {
+      report.required_failures.push_back(
+          "required metric '" + needle +
+          "' matches no numeric path in the candidate");
+    }
   }
   return report;
 }

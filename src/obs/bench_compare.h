@@ -49,6 +49,15 @@ struct CompareOptions {
   std::vector<std::pair<std::string, double>> per_metric;
   /// Require both documents to carry the same "schema" and "version".
   bool require_same_schema = true;
+  /// Path substrings that must match at least one numeric metric in the
+  /// candidate; a metric the candidate lost entirely fails the gate.
+  /// Candidate matches with no baseline counterpart are warned about
+  /// (the gate cannot compare them) — or fail, under strict_baseline.
+  std::vector<std::string> require_metrics;
+  /// Escalates "required metric present in candidate but missing from
+  /// baseline" from a note to a failure, so a fresh bench field cannot
+  /// silently bypass the gate until the baseline is regenerated.
+  bool strict_baseline = false;
 };
 
 struct MetricDelta {
@@ -67,8 +76,15 @@ struct CompareReport {
   std::vector<MetricDelta> deltas;  // every path present in both docs
   std::vector<std::string> notes;   // skipped/missing-metric diagnostics
   std::vector<std::string> errors;  // schema mismatch etc. => not ok
+  /// --require-metric violations: needles the candidate does not carry,
+  /// plus (under strict_baseline) candidate matches the baseline lacks.
+  /// Gate failures like regressions, not invocation errors.
+  std::vector<std::string> required_failures;
   std::size_t regressions() const;
-  bool ok() const { return errors.empty() && regressions() == 0; }
+  bool ok() const {
+    return errors.empty() && regressions() == 0 &&
+           required_failures.empty();
+  }
   /// Human-readable multi-line report (regressions first).
   std::string render(bool list_all = false) const;
 };

@@ -155,5 +155,54 @@ TEST(CompareMetrics, MissingMetricsAreNotedNotFatal) {
   EXPECT_FALSE(r.notes.empty());
 }
 
+TEST(CompareMetrics, RequireMetricPresentInBothPasses) {
+  const Json base = doc("propsim.bench.oracle", 100.0, 5000.0, 2.0);
+  CompareOptions opt;
+  opt.require_metrics = {"qps", "wall_ms"};
+  const CompareReport r = obs::compare_metrics(base, base, opt);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.required_failures.empty());
+}
+
+TEST(CompareMetrics, RequireMetricAbsentFromCandidateFails) {
+  const Json base = doc("propsim.bench.oracle", 100.0, 5000.0, 2.0);
+  CompareOptions opt;
+  opt.require_metrics = {"hardware.cores"};
+  const CompareReport r = obs::compare_metrics(base, base, opt);
+  EXPECT_FALSE(r.ok());
+  ASSERT_EQ(r.required_failures.size(), 1u);
+  EXPECT_NE(r.required_failures[0].find("hardware.cores"),
+            std::string::npos);
+  // A required-metric failure is a gate failure, not an invocation
+  // error — the CLI maps it to exit 1, not 2.
+  EXPECT_TRUE(r.errors.empty());
+}
+
+TEST(CompareMetrics, RequireMetricCandidateOnlyWarnsUnlessStrict) {
+  const Json base = doc("propsim.bench.oracle", 100.0, 5000.0, 2.0);
+  Json cand = doc("propsim.bench.oracle", 100.0, 5000.0, 2.0);
+  Json hw = Json::object();
+  hw.set("cores", static_cast<std::uint64_t>(4));
+  cand.set("hardware", std::move(hw));
+
+  CompareOptions opt;
+  opt.require_metrics = {"hardware.cores"};
+  const CompareReport lax = obs::compare_metrics(base, cand, opt);
+  EXPECT_TRUE(lax.ok());
+  EXPECT_TRUE(lax.required_failures.empty());
+  bool noted = false;
+  for (const std::string& n : lax.notes) {
+    noted = noted || n.find("hardware.cores") != std::string::npos;
+  }
+  EXPECT_TRUE(noted);
+
+  opt.strict_baseline = true;
+  const CompareReport strict = obs::compare_metrics(base, cand, opt);
+  EXPECT_FALSE(strict.ok());
+  ASSERT_EQ(strict.required_failures.size(), 1u);
+  EXPECT_NE(strict.required_failures[0].find("regenerate"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace propsim

@@ -8,12 +8,18 @@
 //                          matching substring wins; a negative PCT makes
 //                          matching metrics informational (never gate)
 //   --allow-schema-mismatch   compare documents of different schemas
+//   --require-metric SUBSTR   fail unless the candidate carries a numeric
+//                          path matching SUBSTR; candidate matches the
+//                          baseline lacks are warned about (repeatable)
+//   --strict-baseline      escalate those warnings to failures, so fresh
+//                          bench fields force a baseline refresh
 //   --list                 print every compared metric, not just the bad
 //
-// Exit codes: 0 = no regression, 1 = regression past threshold,
-// 2 = bad invocation / unreadable or unparsable input. CI's perf-smoke
-// job runs this against the committed bench/baselines/ snapshot; see
-// docs/OBSERVABILITY.md for the direction-inference rules.
+// Exit codes: 0 = no regression, 1 = regression past threshold or a
+// --require-metric violation, 2 = bad invocation / unreadable or
+// unparsable input. CI's perf-smoke job runs this against the committed
+// bench/baselines/ snapshot; see docs/OBSERVABILITY.md for the
+// direction-inference rules.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -28,12 +34,14 @@ namespace {
 void usage(const char* argv0) {
   std::printf(
       "usage: %s [--threshold PCT] [--metric SUBSTR=PCT ...]\n"
+      "       %*s [--require-metric SUBSTR ...] [--strict-baseline]\n"
       "       %*s [--allow-schema-mismatch] [--list]\n"
       "       %*s baseline.json candidate.json\n"
       "\n"
       "Diffs every numeric metric present in both JSON documents and\n"
       "exits 1 when any directional metric worsened past its tolerance.\n",
       argv0, static_cast<int>(std::string(argv0).size()), "",
+      static_cast<int>(std::string(argv0).size()), "",
       static_cast<int>(std::string(argv0).size()), "");
 }
 
@@ -88,6 +96,19 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.per_metric.emplace_back(value.substr(0, eq), pct);
+      continue;
+    }
+    if (arg == "--require-metric" && i + 1 < argc) {
+      const std::string value = argv[++i];
+      if (value.empty()) {
+        std::fprintf(stderr, "--require-metric wants a path substring\n");
+        return 2;
+      }
+      options.require_metrics.push_back(value);
+      continue;
+    }
+    if (arg == "--strict-baseline") {
+      options.strict_baseline = true;
       continue;
     }
     if (arg == "--allow-schema-mismatch") {
