@@ -21,6 +21,7 @@ namespace {
 
 struct Row {
   double loss = 0.0;
+  std::size_t burst_len = 0;      // 0 = Bernoulli, >0 = Gilbert-Elliott
   double success_ratio = 0.0;     // exchanges / attempts
   double final_metric = 0.0;      // converged lookup_ms
   double slowdown = 0.0;          // final vs fault-free final
@@ -29,11 +30,12 @@ struct Row {
   std::uint64_t retries = 0;
   std::uint64_t aborted_mid_commit = 0;
   std::uint64_t crashes = 0;
+  std::uint64_t burst_losses = 0;
   bool connected = false;
 };
 
 ExperimentSpec spec_for(const BenchOptions& opts, double loss,
-                        bool faults_on) {
+                        bool faults_on, std::size_t burst_len = 0) {
   const std::size_t n = opts.scale_n(400);
   const double horizon = opts.scale_t(7200.0);
   char text[768];
@@ -61,6 +63,11 @@ ExperimentSpec spec_for(const BenchOptions& opts, double loss,
                   "fault_partition_end = %.0f\n",
                   loss, 0.4 * horizon, 0.6 * horizon);
     cfg += text;
+    if (burst_len > 0) {
+      std::snprintf(text, sizeof(text), "fault_loss_burst_len = %zu\n",
+                    burst_len);
+      cfg += text;
+    }
   }
   const SpecResult parsed = ExperimentSpec::from_config(Config::parse(cfg));
   PROPSIM_CHECK(parsed.ok() && "resilience_curve config must parse");
@@ -79,14 +86,22 @@ int run(const BenchOptions& opts) {
       run_experiment(spec_for(opts, 0.0, false));
 
   const double losses[] = {0.0, 0.01, 0.05, 0.20};
+  // Burst rows rerun each lossy point under Gilbert-Elliott loss with
+  // mean burst length 8 at the same stationary loss rate — same loss
+  // budget, correlated arrivals.
+  constexpr std::size_t kBurstLen = 8;
   std::vector<Row> rows;
+  std::vector<Row> burst_rows;
   std::string csv =
-      "loss,success_ratio,final_lookup_ms,slowdown,unreachable_frac,"
-      "timeouts,retries,aborted_mid_commit,crashes\n";
-  for (const double loss : losses) {
-    const ExperimentResult r = run_experiment(spec_for(opts, loss, true));
+      "loss,burst_len,success_ratio,final_lookup_ms,slowdown,"
+      "unreachable_frac,timeouts,retries,aborted_mid_commit,crashes,"
+      "burst_losses\n";
+  const auto measure_row = [&](double loss, std::size_t burst_len) {
+    const ExperimentResult r =
+        run_experiment(spec_for(opts, loss, true, burst_len));
     Row row;
     row.loss = loss;
+    row.burst_len = burst_len;
     row.success_ratio =
         r.attempts > 0
             ? static_cast<double>(r.exchanges) /
@@ -103,19 +118,28 @@ int run(const BenchOptions& opts) {
     row.retries = r.retries;
     row.aborted_mid_commit = r.aborted_mid_commit;
     row.crashes = r.fault_crashes;
+    row.burst_losses = r.fault_burst_losses;
     row.connected = r.connected;
-    rows.push_back(row);
 
-    char line[256];
+    char line[288];
     std::snprintf(line, sizeof(line),
-                  "%.2f,%.4f,%.1f,%.3f,%.4f,%llu,%llu,%llu,%llu\n",
-                  row.loss, row.success_ratio, row.final_metric,
-                  row.slowdown, row.unreachable_frac,
+                  "%.2f,%zu,%.4f,%.1f,%.3f,%.4f,%llu,%llu,%llu,%llu,"
+                  "%llu\n",
+                  row.loss, row.burst_len, row.success_ratio,
+                  row.final_metric, row.slowdown, row.unreachable_frac,
                   static_cast<unsigned long long>(row.timeouts),
                   static_cast<unsigned long long>(row.retries),
                   static_cast<unsigned long long>(row.aborted_mid_commit),
-                  static_cast<unsigned long long>(row.crashes));
+                  static_cast<unsigned long long>(row.crashes),
+                  static_cast<unsigned long long>(row.burst_losses));
     csv += line;
+    return row;
+  };
+  for (const double loss : losses) {
+    rows.push_back(measure_row(loss, 0));
+  }
+  for (const double loss : losses) {
+    if (loss > 0.0) burst_rows.push_back(measure_row(loss, kBurstLen));
   }
   print_csv_block("resilience_curve", csv);
 
@@ -142,17 +166,31 @@ int run(const BenchOptions& opts) {
   const bool clearly_degrades =
       rows.back().success_ratio < rows.front().success_ratio &&
       rows.back().timeouts > 0;
+  // Burst columns: every Gilbert-Elliott row must record correlated
+  // losses, stay connected, and keep its total loss count in the same
+  // regime as the Bernoulli row at the same rate (shared loss budget).
+  bool bursts_visible = !burst_rows.empty();
+  bool bursts_connected = true;
+  for (const Row& row : burst_rows) {
+    bursts_visible = bursts_visible && row.burst_losses > 0;
+    bursts_connected = bursts_connected && row.connected;
+  }
   const bool holds = success_monotone && latency_monotone &&
-                     all_connected && partition_visible && clearly_degrades;
+                     all_connected && partition_visible &&
+                     clearly_degrades && bursts_visible && bursts_connected;
 
-  char detail[320];
+  char detail[400];
   std::snprintf(
       detail, sizeof(detail),
       "success ratio %.3f -> %.3f over loss 0 -> 20%%; slowdown %.2fx -> "
-      "%.2fx vs fault-free; unreachable up to %.3f; connected=%d",
+      "%.2fx vs fault-free; unreachable up to %.3f; connected=%d; burst "
+      "rows (L=8): %zu, max burst_losses %llu, connected=%d",
       rows.front().success_ratio, rows.back().success_ratio,
       rows.front().slowdown, rows.back().slowdown,
-      rows.back().unreachable_frac, all_connected);
+      rows.back().unreachable_frac, all_connected, burst_rows.size(),
+      static_cast<unsigned long long>(
+          burst_rows.empty() ? 0 : burst_rows.back().burst_losses),
+      bursts_connected);
   print_verdict(holds, detail);
   return holds ? 0 : 1;
 }

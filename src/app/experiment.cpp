@@ -46,6 +46,12 @@ constexpr const char* kKnownKeys[] = {
     "trace_buffer",    "fault_loss",        "fault_jitter",
     "fault_crash",     "fault_max_retries", "fault_partition_domain",
     "fault_partition_start", "fault_partition_end",
+    "fault_storm_domain",    "fault_storm_start",
+    "fault_storm_window",    "fault_loss_burst_len",
+    "adversary_liar_fraction",    "adversary_freeride_fraction",
+    "adversary_dropper_fraction", "adversary_eclipse_fraction",
+    "adversary_lie_factor",       "adversary_drop_probability",
+    "adversary_eclipse_target",
 };
 
 std::size_t edit_distance(const std::string& a, const std::string& b) {
@@ -505,6 +511,138 @@ SpecResult ExperimentSpec::from_config(const Config& config) {
             std::string("overlay is ") + to_string(spec.overlay));
   }
 
+  const std::int64_t burst_len = p.get_int("fault_loss_burst_len", 0);
+  if (burst_len < 0) {
+    p.error("fault_loss_burst_len", "must be >= 0 (0 = Bernoulli loss)");
+  }
+  spec.faults.loss_burst_len =
+      static_cast<std::size_t>(std::max<std::int64_t>(burst_len, 0));
+  if (spec.faults.loss_burst_len > 0 && spec.faults.message_loss <= 0.0) {
+    p.error("fault_loss_burst_len",
+            "burst loss shapes the fault_loss stream and requires "
+            "fault_loss > 0");
+    spec.faults.loss_burst_len = 0;
+  }
+
+  const bool wants_storm = config.has("fault_storm_domain") ||
+                           config.has("fault_storm_start") ||
+                           config.has("fault_storm_window");
+  if (wants_storm) {
+    if (!config.has("fault_storm_domain") ||
+        !config.has("fault_storm_start") ||
+        !config.has("fault_storm_window")) {
+      p.error("fault_storm_domain",
+              "a crash storm needs fault_storm_domain, fault_storm_start "
+              "and fault_storm_window together");
+    } else {
+      StormWindow w;
+      const std::string domain = config.get_string("fault_storm_domain", "");
+      if (domain == "auto") {
+        w.stub_domain = kPartitionDomainAuto;
+      } else {
+        const std::int64_t d = p.get_int("fault_storm_domain", 0);
+        if (d < 0) p.error("fault_storm_domain", "must be >= 0 or 'auto'");
+        w.stub_domain =
+            static_cast<std::uint32_t>(std::max<std::int64_t>(d, 0));
+      }
+      w.start_s = p.get_double("fault_storm_start", 0.0);
+      w.window_s = p.get_double("fault_storm_window", 0.0);
+      if (w.start_s < 0.0 || w.window_s <= 0.0) {
+        p.error("fault_storm_window",
+                "storm must satisfy start >= 0 and window > 0");
+      } else {
+        spec.faults.storms.push_back(w);
+      }
+      if (spec.topology == Topology::kWaxman) {
+        p.error("fault_storm_domain",
+                "crash storms fail a stub domain and require a "
+                "transit-stub topology",
+                "use topology = ts-large | ts-small");
+      }
+      if (spec.overlay != Overlay::kGnutella) {
+        p.error("fault_storm_domain",
+                "crash storms repair through the churn path and require "
+                "the unstructured gnutella overlay",
+                std::string("overlay is ") + to_string(spec.overlay));
+      }
+    }
+  }
+
+  spec.adversary.liar_fraction =
+      p.get_double("adversary_liar_fraction", 0.0);
+  spec.adversary.freeride_fraction =
+      p.get_double("adversary_freeride_fraction", 0.0);
+  spec.adversary.dropper_fraction =
+      p.get_double("adversary_dropper_fraction", 0.0);
+  spec.adversary.eclipse_fraction =
+      p.get_double("adversary_eclipse_fraction", 0.0);
+  for (const auto& [key, value] :
+       {std::pair<const char*, double*>{"adversary_liar_fraction",
+                                        &spec.adversary.liar_fraction},
+        {"adversary_freeride_fraction", &spec.adversary.freeride_fraction},
+        {"adversary_dropper_fraction", &spec.adversary.dropper_fraction},
+        {"adversary_eclipse_fraction", &spec.adversary.eclipse_fraction}}) {
+    if (*value < 0.0 || *value >= 1.0) {
+      p.error(key, "must be in [0, 1)");
+      *value = 0.0;
+    }
+  }
+  if (spec.adversary.liar_fraction + spec.adversary.freeride_fraction +
+          spec.adversary.dropper_fraction +
+          spec.adversary.eclipse_fraction >=
+      1.0) {
+    p.error("", "adversary fractions must sum below 1",
+            "some honest majority has to remain");
+  }
+  spec.adversary.lie_factor = p.get_double("adversary_lie_factor", 0.5);
+  if (spec.adversary.lie_factor <= 0.0 || spec.adversary.lie_factor > 1.0) {
+    p.error("adversary_lie_factor", "must be in (0, 1]");
+    spec.adversary.lie_factor = 0.5;
+  }
+  spec.adversary.drop_probability =
+      p.get_double("adversary_drop_probability", 1.0);
+  if (spec.adversary.drop_probability < 0.0 ||
+      spec.adversary.drop_probability > 1.0) {
+    p.error("adversary_drop_probability", "must be in [0, 1]");
+    spec.adversary.drop_probability = 1.0;
+  }
+  if (config.has("adversary_eclipse_target")) {
+    if (spec.adversary.eclipse_fraction <= 0.0) {
+      p.error("adversary_eclipse_target",
+              "only meaningful with adversary_eclipse_fraction > 0");
+    }
+    const std::string target =
+        config.get_string("adversary_eclipse_target", "");
+    if (target == "auto") {
+      spec.adversary.eclipse_target = kInvalidSlot;
+    } else {
+      const std::int64_t t = p.get_int("adversary_eclipse_target", 0);
+      if (t < 0) {
+        p.error("adversary_eclipse_target", "must be >= 0 or 'auto'");
+      }
+      spec.adversary.eclipse_target =
+          static_cast<SlotId>(std::max<std::int64_t>(t, 0));
+    }
+  }
+  if (spec.adversary.active()) {
+    if (spec.overlay != Overlay::kGnutella) {
+      p.error("", "adversary models target the PROP negotiation path and "
+                  "require the unstructured gnutella overlay",
+              std::string("overlay is ") + to_string(spec.overlay));
+    }
+    if (spec.protocol != Protocol::kPropG &&
+        spec.protocol != Protocol::kPropO) {
+      p.error("", "adversary models intercept PROP negotiations",
+              "set protocol = prop-g or prop-o");
+    }
+  }
+  if (spec.adversary.eclipse_fraction > 0.0 &&
+      spec.protocol != Protocol::kPropG) {
+    p.error("adversary_eclipse_fraction",
+            "eclipse attackers monopolize seats via placement swaps",
+            "requires protocol = prop-g");
+  }
+
   const bool has_churn = spec.churn.join_rate_per_s > 0.0 ||
                          spec.churn.leave_rate_per_s > 0.0 ||
                          spec.churn.fail_rate_per_s > 0.0;
@@ -577,6 +715,15 @@ ExperimentResult::counters() const {
       {"measure_fast_floods", measure_fast_floods},
       {"measure_snapshot_captures", measure_snapshot_captures},
       {"measure_snapshot_reuses", measure_snapshot_reuses},
+      // v6: byzantine-behavior + correlated-failure counters; all zero
+      // unless an adversary layer or storm/burst fault knobs are active.
+      {"adversary_lies", adversary_lies},
+      {"adversary_drops", adversary_drops},
+      {"adversary_freeride_skips", adversary_freeride_skips},
+      {"adversary_eclipse_attempts", adversary_eclipse_attempts},
+      {"adversary_eclipse_captures", adversary_eclipse_captures},
+      {"fault_storm_failures", fault_storm_failures},
+      {"fault_burst_losses", fault_burst_losses},
   };
 }
 
@@ -684,19 +831,32 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   std::unique_ptr<FaultInjector> faults;
   if (spec.faults.active()) {
     FaultParams fparams = spec.faults;
+    // "auto" picks the stub domain hosting the most overlay nodes so
+    // the window (or storm) is guaranteed to hit a meaningful
+    // population.
+    const auto densest_stub_domain = [&]() -> std::uint32_t {
+      PROPSIM_CHECK(ts != nullptr);
+      std::vector<std::size_t> population(ts->stub_domain_count, 0);
+      for (const NodeId h : hosts) {
+        if (ts->kind[h] == NodeKind::kStub) ++population[ts->domain[h]];
+      }
+      return static_cast<std::uint32_t>(
+          std::max_element(population.begin(), population.end()) -
+          population.begin());
+    };
     for (PartitionWindow& w : fparams.partitions) {
       PROPSIM_CHECK(ts != nullptr &&
                     "partition windows require a transit-stub topology");
       if (w.stub_domain == kPartitionDomainAuto) {
-        // "auto" picks the stub domain hosting the most overlay nodes so
-        // the window is guaranteed to isolate a meaningful population.
-        std::vector<std::size_t> population(ts->stub_domain_count, 0);
-        for (const NodeId h : hosts) {
-          if (ts->kind[h] == NodeKind::kStub) ++population[ts->domain[h]];
-        }
-        w.stub_domain = static_cast<std::uint32_t>(
-            std::max_element(population.begin(), population.end()) -
-            population.begin());
+        w.stub_domain = densest_stub_domain();
+      }
+      PROPSIM_CHECK(w.stub_domain < ts->stub_domain_count);
+    }
+    for (StormWindow& w : fparams.storms) {
+      PROPSIM_CHECK(ts != nullptr &&
+                    "crash storms require a transit-stub topology");
+      if (w.stub_domain == kPartitionDomainAuto) {
+        w.stub_domain = densest_stub_domain();
       }
       PROPSIM_CHECK(w.stub_domain < ts->stub_domain_count);
     }
@@ -792,7 +952,8 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   // Injected crashes change membership just like churn failures do, so
   // they force per-sample query regeneration too.
   const bool fault_crashes_on =
-      faults != nullptr && spec.faults.crash_per_negotiation > 0.0;
+      faults != nullptr && (spec.faults.crash_per_negotiation > 0.0 ||
+                            !spec.faults.storms.empty());
   const bool membership_changes = has_churn || fault_crashes_on;
   auto make_queries = [&]() -> std::vector<QueryPair> {
     if (spec.fraction_fast_dest >= 0.0) {
@@ -816,6 +977,36 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
       return !f->partitioned(n->placement().host_of(a),
                              n->placement().host_of(b));
     };
+  }
+
+  // Storm victims are enumerated at the storm's fire time (not at
+  // start()) so churn-era membership is honored: every slot active at
+  // that instant whose host is a stub node of the failed domain goes
+  // down, in active-slot order — no RNG involved.
+  if (faults && !spec.faults.storms.empty()) {
+    faults->set_storm_enumerator(
+        [n = net.get(), t = ts.get()](std::uint32_t domain) {
+          std::vector<SlotId> victims;
+          for (const SlotId s : n->graph().active_slots()) {
+            const NodeId h = n->placement().host_of(s);
+            if (h < t->kind.size() && t->kind[h] == NodeKind::kStub &&
+                t->domain[h] == domain) {
+              victims.push_back(s);
+            }
+          }
+          return victims;
+        });
+  }
+
+  // --- Byzantine behavior layer, between the overlay and the engines.
+  // Constructed only when a model fraction is nonzero; the engines gate
+  // every adversarial branch on its presence, so an honest spec runs
+  // byte-identically to a build without the layer. ---
+  std::unique_ptr<AdversaryLayer> adversary;
+  if (spec.adversary.active()) {
+    adversary =
+        std::make_unique<AdversaryLayer>(*net, spec.adversary, spec.seed);
+    adversary->set_trace(&bus);
   }
 
   // Measurement engine for the metric sweeps. measure_threads is a pure
@@ -927,6 +1118,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
       prop = std::make_unique<PropEngine>(*net, sim, spec.prop,
                                           spec.seed + 101);
       if (faults) prop->set_faults(faults.get());
+      if (adversary) prop->set_adversary(adversary.get());
       break;
     case ExperimentSpec::Protocol::kLtm:
       ltm = std::make_unique<LtmEngine>(*net, sim, spec.ltm, spec.seed + 103);
@@ -1036,6 +1228,16 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
     result.fault_losses = faults->stats().losses;
     result.fault_partition_drops = faults->stats().partition_drops;
     result.fault_crashes = faults->stats().crashes_executed;
+    result.fault_storm_failures = faults->stats().storm_failures;
+    result.fault_burst_losses = faults->stats().burst_losses;
+  }
+  if (adversary) {
+    result.adversary_lies = adversary->stats().lies;
+    result.adversary_drops = adversary->stats().drops;
+    result.adversary_freeride_skips = adversary->stats().freeride_skips;
+    result.adversary_eclipse_attempts = adversary->stats().eclipse_attempts;
+    result.adversary_eclipse_captures = adversary->stats().eclipse_captures;
+    result.adversary_eclipse_held = adversary->eclipse_captured();
   }
   if (traffic) {
     result.observed = traffic->observed();

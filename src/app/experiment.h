@@ -52,6 +52,24 @@
 //   fault_partition_domain = <int> | auto   (stub domain to cut;
 //                            requires a transit-stub topology)
 //   fault_partition_start, fault_partition_end = <seconds>
+//   fault_storm_domain = <int> | auto   (correlated crash storm: every
+//                            overlay host in the stub domain fails at an
+//                            evenly spaced instant inside the window;
+//                            requires transit-stub + gnutella)
+//   fault_storm_start, fault_storm_window = <seconds>
+//   fault_loss_burst_len = <int>   (mean burst length of Gilbert-Elliott
+//                            two-state loss; 0 = Bernoulli; requires
+//                            fault_loss > 0)
+//   adversary_liar_fraction, adversary_freeride_fraction,
+//   adversary_dropper_fraction, adversary_eclipse_fraction = <0..1)
+//                            (disjoint byzantine host fractions, sum < 1;
+//                            require overlay = gnutella and a PROP
+//                            protocol; eclipse requires prop-g)
+//   adversary_lie_factor = <0..1]   (liar cost deflation, default 0.5)
+//   adversary_drop_probability = <0..1>  (dropper commit-leg drop
+//                            probability, default 1.0)
+//   adversary_eclipse_target = <int> | auto  (slot to eclipse; auto =
+//                            highest-degree slot at assembly)
 //
 // from_config returns a SpecResult: structured per-key errors (including
 // unknown keys, with did-you-mean suggestions) instead of aborting the
@@ -63,6 +81,7 @@
 #include <utility>
 #include <vector>
 
+#include "adversary/adversary.h"
 #include "baselines/ltm.h"
 #include "common/config.h"
 #include "common/timeseries.h"
@@ -106,6 +125,11 @@ struct ExperimentSpec {
   /// when faults.active() — a config with fault_loss = 0 and no other
   /// fault knob runs the exact fault-free code path, bit-identically.
   FaultParams faults;
+
+  /// Byzantine behavior plan (src/adversary). Like faults, a layer is
+  /// constructed only when adversary.active(): all-zero fractions run
+  /// the honest code path bit-identically.
+  AdversaryParams adversary;
 
   /// Event-driven lookup arrivals per second (0 = snapshot metric only).
   double lookup_rate_per_s = 0.0;
@@ -222,7 +246,13 @@ struct ExperimentResult {
   /// captures and reuses depends on the trace build mode (OFF builds
   /// never reuse), like trace_events already does. v1-v4 names are
   /// unchanged.
-  static constexpr int kCountersVersion = 5;
+  /// v6: added the threat-model counters (adversary_lies,
+  /// adversary_drops, adversary_freeride_skips,
+  /// adversary_eclipse_attempts, adversary_eclipse_captures,
+  /// fault_storm_failures, fault_burst_losses) — all zero unless the
+  /// corresponding adversary/storm/burst knob is set. v1-v5 names are
+  /// unchanged.
+  static constexpr int kCountersVersion = 6;
 
   /// "lookup_ms" for unstructured overlays, "stretch" for DHTs.
   std::string metric_name;
@@ -245,6 +275,16 @@ struct ExperimentResult {
   std::uint64_t fault_losses = 0;
   std::uint64_t fault_partition_drops = 0;
   std::uint64_t fault_crashes = 0;
+  std::uint64_t fault_storm_failures = 0;
+  std::uint64_t fault_burst_losses = 0;
+  /// Byzantine layer totals (zero without an attached adversary).
+  std::uint64_t adversary_lies = 0;
+  std::uint64_t adversary_drops = 0;
+  std::uint64_t adversary_freeride_skips = 0;
+  std::uint64_t adversary_eclipse_attempts = 0;
+  std::uint64_t adversary_eclipse_captures = 0;
+  /// Eclipse-target neighbor seats held by attackers at the horizon.
+  std::uint64_t adversary_eclipse_held = 0;
   /// Scheduler totals for the whole run. Invariant across sim_shards
   /// (the sharded core executes the identical event sequence), so they
   /// are safe to echo in counters and the result JSON `sim` stanza.

@@ -131,7 +131,59 @@ Json experiment_result_json(const ExperimentSpec& spec,
       }
       faults.set("partitions", std::move(windows));
     }
+    // Burst-loss and storm fields are additive and keyed off their own
+    // knobs, so Bernoulli-loss results stay byte-identical to pre-burst
+    // runs.
+    if (spec.faults.loss_burst_len > 0) {
+      faults
+          .set("loss_burst_len",
+               static_cast<std::uint64_t>(spec.faults.loss_burst_len))
+          .set("burst_losses", result.fault_burst_losses);
+    }
+    if (!spec.faults.storms.empty()) {
+      Json storms = Json::array();
+      for (const StormWindow& w : spec.faults.storms) {
+        Json storm = Json::object();
+        if (w.stub_domain == kPartitionDomainAuto) {
+          storm.set("stub_domain", "auto");
+        } else {
+          storm.set("stub_domain",
+                    static_cast<std::uint64_t>(w.stub_domain));
+        }
+        storm.set("start_s", w.start_s).set("window_s", w.window_s);
+        storms.push_back(std::move(storm));
+      }
+      faults.set("storms", std::move(storms));
+      faults.set("storm_failures", result.fault_storm_failures);
+    }
     out.set("faults", std::move(faults));
+  }
+
+  // Adversary stanza (additive; present only when the spec assigns a
+  // byzantine model, so honest results stay byte-identical).
+  if (spec.adversary.active()) {
+    Json adversary = Json::object();
+    adversary.set("liar_fraction", spec.adversary.liar_fraction)
+        .set("freeride_fraction", spec.adversary.freeride_fraction)
+        .set("dropper_fraction", spec.adversary.dropper_fraction)
+        .set("eclipse_fraction", spec.adversary.eclipse_fraction)
+        .set("lie_factor", spec.adversary.lie_factor)
+        .set("drop_probability", spec.adversary.drop_probability)
+        .set("lies", result.adversary_lies)
+        .set("drops", result.adversary_drops)
+        .set("freeride_skips", result.adversary_freeride_skips);
+    if (spec.adversary.eclipse_fraction > 0.0) {
+      if (spec.adversary.eclipse_target == kInvalidSlot) {
+        adversary.set("eclipse_target", "auto");
+      } else {
+        adversary.set("eclipse_target", static_cast<std::uint64_t>(
+                                            spec.adversary.eclipse_target));
+      }
+      adversary.set("eclipse_attempts", result.adversary_eclipse_attempts)
+          .set("eclipse_captures", result.adversary_eclipse_captures)
+          .set("eclipse_held", result.adversary_eclipse_held);
+    }
+    out.set("adversary", std::move(adversary));
   }
 
   if (result.lookups_issued > 0) {

@@ -84,6 +84,11 @@ bool PropEngine::attempt(SlotId u) {
   ensure_state_capacity();
   NodeState& st = state_[u];
   PROPSIM_CHECK(net_.graph().is_active(u));
+  if (adversary_ != nullptr && adversary_->sits_out(u)) {
+    // Free-riders never spend probe messages; captured eclipse
+    // attackers hold still. The probe timer keeps cycling regardless.
+    return false;
+  }
   ++stats_.attempts;
   ++st.trials;
   obs::EventBus* bus = net_.trace();
@@ -115,7 +120,16 @@ bool PropEngine::attempt(SlotId u) {
   // Locate the counterpart v.
   SlotId v = kInvalidSlot;
   std::vector<SlotId> path;
-  if (params_.random_target) {
+  const SlotId steered = adversary_ != nullptr
+                             ? adversary_->eclipse_counterpart(u)
+                             : kInvalidSlot;
+  if (steered != kInvalidSlot) {
+    // Eclipse steering: the attacker aims its exchange at a seat next
+    // to the target instead of walking. One direct contact message.
+    v = steered;
+    path = {u, v};
+    net_.traffic().count(net_.placement().host_of(u), MessageKind::kWalk);
+  } else if (params_.random_target) {
     const auto actives = net_.graph().active_slots();
     PROPSIM_CHECK(actives.size() >= 2);
     do {
@@ -184,7 +198,7 @@ bool PropEngine::attempt(SlotId u) {
   }
   charge_messages(*plan, path.size() - 1, /*committed=*/false);
 
-  if (plan->var <= params_.min_var) {
+  if (gate_var(*plan) <= params_.min_var) {
     ++stats_.rejected;
     if (bus != nullptr) {
       bus->emit(obs::TraceEventKind::kExchangeAbort, u, v, plan->var,
@@ -194,12 +208,14 @@ bool PropEngine::attempt(SlotId u) {
     return false;
   }
 
-  if (params_.model_message_delays || faults_ != nullptr) {
+  if (params_.model_message_delays || faults_ != nullptr ||
+      adversary_ != nullptr) {
     // The decision travels over the network: commit only after the
     // negotiation round-trips, re-validating against whatever the
     // overlay looks like by then. Fault injection implies message-delay
     // modeling — a lossy network with atomic exchanges would be
-    // contradictory.
+    // contradictory — and byzantine peers need the two-phase window
+    // their drop/lie behaviors target.
     begin_negotiation(u, first_hop, v, std::move(path), /*retries_used=*/0);
     return false;  // outcome pending
   }
@@ -220,6 +236,25 @@ bool PropEngine::attempt(SlotId u) {
   notify_observer(*plan);
   handle_success(u, first_hop);
   return true;
+}
+
+ExchangeView PropEngine::view_of(const ExchangePlan& plan) const {
+  ExchangeView view;
+  view.prop_g = plan.mode == PropMode::kPropG;
+  view.u = plan.u;
+  view.v = plan.v;
+  if (!view.prop_g) {
+    // m > 1 transfer sets are represented by their first neighbor: the
+    // lie is a model of misreporting, not exact bookkeeping.
+    view.from_u = plan.from_u.empty() ? kInvalidSlot : plan.from_u.front();
+    view.from_v = plan.from_v.empty() ? kInvalidSlot : plan.from_v.front();
+  }
+  return view;
+}
+
+double PropEngine::gate_var(const ExchangePlan& plan) {
+  if (adversary_ == nullptr) return plan.var;
+  return adversary_->perceived_var(view_of(plan), plan.var, params_.min_var);
 }
 
 void PropEngine::notify_observer(const ExchangePlan& plan) {
@@ -258,10 +293,16 @@ bool PropEngine::validate_and_apply(SlotId u, SlotId first_hop, SlotId v,
   // path slot must still be active and every path edge present (the
   // connectivity argument of Theorem 1 depends on the path surviving).
   if (!net_.graph().is_active(v)) return false;
+  // Random-target probing has no walk path, so no edges to check; the
+  // same goes for an eclipse attacker's steered contact, which never
+  // walked the overlay in the first place.
+  const bool pathless =
+      params_.random_target ||
+      (adversary_ != nullptr &&
+       adversary_->role_of(u) == PeerRole::kEclipse);
   for (std::size_t i = 0; i < path.size(); ++i) {
     if (!net_.graph().is_active(path[i])) return false;
-    // Random-target probing has no walk path, so no edges to check.
-    if (!params_.random_target && i > 0 &&
+    if (!pathless && i > 0 &&
         !net_.graph().has_edge(path[i - 1], path[i])) {
       return false;
     }
@@ -275,7 +316,7 @@ bool PropEngine::validate_and_apply(SlotId u, SlotId first_hop, SlotId v,
     plan = plan_prop_o(net_, u, v, path, effective_m_, params_.selection,
                        rng_);
   }
-  if (!plan.has_value() || plan->var <= params_.min_var) return false;
+  if (!plan.has_value() || gate_var(*plan) <= params_.min_var) return false;
   apply_exchange(net_, *plan);
   if (swap_log_ != nullptr && plan->mode == PropMode::kPropG) {
     swap_log_->record(sim_.now(), plan->u, plan->v);
@@ -288,6 +329,9 @@ bool PropEngine::validate_and_apply(SlotId u, SlotId first_hop, SlotId v,
   if (obs::EventBus* bus = net_.trace()) {
     bus->emit(obs::TraceEventKind::kExchangeCommit, plan->u, plan->v,
               plan->var, plan->from_u.size());
+  }
+  if (adversary_ != nullptr) {
+    adversary_->on_exchange_committed(plan->u, plan->v);
   }
   notify_observer(*plan);
   return true;
@@ -344,7 +388,7 @@ void PropEngine::begin_negotiation(SlotId u, SlotId first_hop, SlotId v,
     st.pending = kInvalidEvent;
   }
   const double base_delay = negotiation_delay_s(path);
-  if (faults_ == nullptr) {
+  if (faults_ == nullptr && adversary_ == nullptr) {
     // Plain delayed-commit mode: single scheduled commit, no locks —
     // the pre-fault protocol, byte-for-byte.
     st.pending = sim_.schedule_in(
@@ -366,7 +410,9 @@ void PropEngine::begin_negotiation(SlotId u, SlotId first_hop, SlotId v,
   // PREPARE leg u -> v: a loss is detected by timeout after one RTO and
   // retransmitted from scratch, up to the injector's retry budget, with
   // the Markov-chain backoff taking over when the budget runs out.
-  if (!faults_->deliver(net_.placement().host_of(u),
+  // Adversary-only runs have a loss-free network: the leg always lands.
+  if (faults_ != nullptr &&
+      !faults_->deliver(net_.placement().host_of(u),
                         net_.placement().host_of(v))) {
     ++stats_.timeouts;
     if (obs::EventBus* bus = net_.trace()) {
@@ -396,8 +442,9 @@ void PropEngine::begin_negotiation(SlotId u, SlotId first_hop, SlotId v,
   // the window can be attributed to this negotiation.
   st.peer = v;
   state_[v].peer = u;
-  const double delay = faults_->jitter(base_delay);
-  faults_->maybe_schedule_crash(u, v, delay);
+  const double delay =
+      faults_ != nullptr ? faults_->jitter(base_delay) : base_delay;
+  if (faults_ != nullptr) faults_->maybe_schedule_crash(u, v, delay);
   st.pending = sim_.schedule_in(
       delay, sim_.shard_of(u),
       [this, u, first_hop, v, path = std::move(path)]() mutable {
@@ -427,10 +474,21 @@ void PropEngine::finish_two_phase(SlotId u, SlotId first_hop, SlotId v,
     schedule_probe(u, st.timer);
     return;
   }
-  // COMMIT leg v -> u: losing it after a successful prepare drops the
-  // exchange mid-commit. Nothing was applied at prepare time, so both
-  // endpoints just fall back to their pre-prepare neighbor state.
-  if (!faults_->deliver(net_.placement().host_of(v),
+  // COMMIT leg v -> u: a selective dropper acked the prepare but
+  // discards the commit toward an honest initiator, burning the whole
+  // negotiation window. Nothing was applied at prepare time, so both
+  // endpoints fall back to their pre-prepare neighbor state.
+  if (adversary_ != nullptr && adversary_->drop_commit(v, u)) {
+    ++stats_.aborted_mid_commit;
+    abort_with_reason(u, v, obs::AbortReason::kAdversaryDrop);
+    handle_failure(u, first_hop);
+    schedule_probe(u, st.timer);
+    return;
+  }
+  // Losing the leg to the network after a successful prepare drops the
+  // exchange mid-commit the same way.
+  if (faults_ != nullptr &&
+      !faults_->deliver(net_.placement().host_of(v),
                         net_.placement().host_of(u))) {
     ++stats_.timeouts;
     ++stats_.aborted_mid_commit;

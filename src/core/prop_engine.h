@@ -11,6 +11,7 @@
 #include <functional>
 #include <vector>
 
+#include "adversary/adversary.h"
 #include "common/rng.h"
 #include "core/exchange.h"
 #include "core/neighbor_queue.h"
@@ -86,6 +87,16 @@ class PropEngine {
   /// engine is byte-for-byte the fault-free protocol.
   void set_faults(FaultInjector* faults) { faults_ = faults; }
 
+  /// Attaches a byzantine behavior layer (not owned, may be null). The
+  /// layer intercepts the negotiation path at four points: probe timers
+  /// of sitting-out peers (free-riders, captured eclipse attackers),
+  /// counterpart selection (eclipse steering), the MIN_VAR gate (liars
+  /// distort the *decision* — the applied plan is always the true one,
+  /// so Theorems 1/2 hold under any lie) and the commit leg (selective
+  /// droppers). Attaching it engages the hardened two-phase path even
+  /// without faults; detached, the engine is byte-for-byte honest.
+  void set_adversary(AdversaryLayer* adversary) { adversary_ = adversary; }
+
   /// One committed exchange, as reported to the observer.
   struct ExchangeEvent {
     double time = 0.0;
@@ -133,7 +144,7 @@ class PropEngine {
     bool active = false;
     /// Two-phase negotiation lock: the counterpart this node is prepared
     /// with (kInvalidSlot when idle). Only ever set while a fault
-    /// injector is attached.
+    /// injector or an adversary layer is attached.
     SlotId peer = kInvalidSlot;
   };
 
@@ -163,6 +174,11 @@ class PropEngine {
   void handle_success(SlotId u, SlotId first_hop);
   void handle_failure(SlotId u, SlotId first_hop);
   void notify_observer(const ExchangePlan& plan);
+  /// The plan as one endpoint's selfish perspective (adversary models).
+  ExchangeView view_of(const ExchangePlan& plan) const;
+  /// The Var the MIN_VAR gate sees: the true Var, unless an attached
+  /// adversary distorts it.
+  double gate_var(const ExchangePlan& plan);
   /// Queue/notification updates on third parties after a committed plan.
   void propagate_exchange_effects(const ExchangePlan& plan);
   void charge_messages(const ExchangePlan& plan, std::size_t walk_len,
@@ -175,6 +191,7 @@ class PropEngine {
   std::vector<NodeState> state_;
   SwapLog* swap_log_ = nullptr;
   FaultInjector* faults_ = nullptr;
+  AdversaryLayer* adversary_ = nullptr;
   ExchangeObserver observer_;
   Stats stats_;
   std::size_t effective_m_ = 1;

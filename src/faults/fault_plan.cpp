@@ -18,6 +18,13 @@ FaultInjector::FaultInjector(Scheduler& sim, const FaultParams& params,
     PROPSIM_CHECK(w.stub_domain != kPartitionDomainAuto &&
                   "resolve auto partition domains before construction");
   }
+  for (const StormWindow& w : params_.storms) {
+    PROPSIM_CHECK(w.start_s >= 0.0);
+    PROPSIM_CHECK(w.window_s > 0.0);
+    PROPSIM_CHECK(w.stub_domain != kPartitionDomainAuto &&
+                  "resolve auto storm domains before construction");
+  }
+  PROPSIM_CHECK(params_.loss_burst_len == 0 || params_.message_loss > 0.0);
 }
 
 void FaultInjector::start() {
@@ -30,6 +37,43 @@ void FaultInjector::start() {
     sim_.schedule_at(w.end_s, [this, domain = w.stub_domain] {
       if (trace_ != nullptr) {
         trace_->emit(obs::TraceEventKind::kPartitionEnd, domain);
+      }
+    });
+  }
+  for (const StormWindow& w : params_.storms) {
+    sim_.schedule_at(
+        w.start_s,
+        [this, domain = w.stub_domain, window = w.window_s] {
+          // Victims are enumerated at fire time — PROP-G may have moved
+          // hosts since assembly — and fail at evenly spaced offsets, so
+          // storms consume no RNG and leave every other stream intact.
+          std::vector<SlotId> victims;
+          if (storm_enumerator_ && failure_executor_ != nullptr) {
+            victims = storm_enumerator_(domain);
+          }
+          if (trace_ != nullptr) {
+            trace_->emit(obs::TraceEventKind::kStormStart, domain, 0, 0.0,
+                         victims.size());
+          }
+          const double spacing =
+              window / static_cast<double>(victims.size() + 1);
+          for (std::size_t i = 0; i < victims.size(); ++i) {
+            const SlotId victim = victims[i];
+            const double offset = spacing * static_cast<double>(i + 1);
+            sim_.schedule_in(offset, sim_.shard_of(victim), [this, victim] {
+              if (failure_executor_ == nullptr) return;
+              if (!failure_executor_->fail_slot(victim)) return;
+              ++stats_.storm_failures;
+              if (trace_ != nullptr) {
+                trace_->emit(obs::TraceEventKind::kFaultCrash, victim,
+                             victim, 0.0, 1);
+              }
+            });
+          }
+        });
+    sim_.schedule_at(w.start_s + w.window_s, [this, domain = w.stub_domain] {
+      if (trace_ != nullptr) {
+        trace_->emit(obs::TraceEventKind::kStormEnd, domain);
       }
     });
   }
@@ -69,12 +113,32 @@ bool FaultInjector::deliver(NodeId from, NodeId to) {
     }
     return false;
   }
-  if (params_.message_loss > 0.0 && rng_.bernoulli(params_.message_loss)) {
-    ++stats_.losses;
-    if (trace_ != nullptr) {
-      trace_->emit(obs::TraceEventKind::kFaultLoss, from, to, 0.0, 1);
+  if (params_.message_loss > 0.0) {
+    bool lost;
+    if (params_.loss_burst_len > 0) {
+      // Gilbert–Elliott: lose while the chain is bad, then advance it
+      // with one draw. p_enter/p_exit are chosen so the stationary bad
+      // fraction equals message_loss and the mean bad dwell time equals
+      // loss_burst_len messages.
+      lost = burst_bad_;
+      const double len = static_cast<double>(params_.loss_burst_len);
+      if (burst_bad_) {
+        burst_bad_ = !rng_.bernoulli(1.0 / len);
+      } else {
+        burst_bad_ = rng_.bernoulli(params_.message_loss /
+                                    ((1.0 - params_.message_loss) * len));
+      }
+      if (lost) ++stats_.burst_losses;
+    } else {
+      lost = rng_.bernoulli(params_.message_loss);
     }
-    return false;
+    if (lost) {
+      ++stats_.losses;
+      if (trace_ != nullptr) {
+        trace_->emit(obs::TraceEventKind::kFaultLoss, from, to, 0.0, 1);
+      }
+      return false;
+    }
   }
   return true;
 }

@@ -52,6 +52,17 @@ struct PartitionWindow {
 inline constexpr std::uint32_t kPartitionDomainAuto =
     static_cast<std::uint32_t>(-1);
 
+/// One correlated-failure storm: every overlay host living in the stub
+/// domain crashes at an evenly spaced instant inside
+/// [start_s, start_s + window_s), routed through the FailureExecutor so
+/// churn repair runs for each victim. Geography-correlated failures
+/// (Asaduzzaman & Bochmann, PAPERS.md) arrive by region, not i.i.d.
+struct StormWindow {
+  std::uint32_t stub_domain = 0;  // kPartitionDomainAuto until resolved
+  double start_s = 0.0;
+  double window_s = 0.0;
+};
+
 struct FaultParams {
   /// Per-message loss probability in [0, 1).
   double message_loss = 0.0;
@@ -66,12 +77,20 @@ struct FaultParams {
   /// Retransmission timeout as a multiple of the negotiation delay.
   double rto_factor = 2.0;
   std::vector<PartitionWindow> partitions;
+  std::vector<StormWindow> storms;
+
+  /// Mean burst length (messages) of the Gilbert–Elliott two-state loss
+  /// chain. 0 keeps the classic per-message Bernoulli model; >= 1
+  /// replaces it with bursts whose stationary loss rate still equals
+  /// message_loss (which must then be > 0).
+  std::size_t loss_burst_len = 0;
 
   /// True when any fault class can fire. Engines attach an injector only
   /// then, so an all-zero FaultParams is bit-identical to no faults.
   bool active() const {
     return message_loss > 0.0 || latency_jitter > 0.0 ||
-           crash_per_negotiation > 0.0 || !partitions.empty();
+           crash_per_negotiation > 0.0 || !partitions.empty() ||
+           !storms.empty();
   }
 };
 
@@ -83,6 +102,8 @@ class FaultInjector {
     std::uint64_t partition_drops = 0;  // drops across a cut gateway
     std::uint64_t crashes_scheduled = 0;
     std::uint64_t crashes_executed = 0;
+    std::uint64_t storm_failures = 0;  // crashes executed by storms
+    std::uint64_t burst_losses = 0;    // losses while the GE chain was bad
   };
 
   /// Keeps a reference to `sim`; it must outlive the injector.
@@ -118,9 +139,23 @@ class FaultInjector {
     failure_executor_ = executor;
   }
 
-  /// Emits partition open/heal trace events at their window boundaries.
-  /// Partition *checks* are pure time lookups — this only exists so the
-  /// trace stream marks the windows.
+  /// Enumerates the overlay slots whose hosts live in a stub domain, at
+  /// the moment a storm fires (PROP-G moves hosts between slots, so the
+  /// victim set cannot be precomputed). The injector has no overlay
+  /// access by design; run assembly installs this. Storms are inert
+  /// without it.
+  using StormEnumerator =
+      std::function<std::vector<SlotId>(std::uint32_t stub_domain)>;
+  void set_storm_enumerator(StormEnumerator enumerate) {
+    storm_enumerator_ = std::move(enumerate);
+  }
+
+  /// Emits partition open/heal trace events at their window boundaries
+  /// and arms storm windows: at each storm start the enumerator runs and
+  /// every victim is scheduled to fail at an evenly spaced offset inside
+  /// the window — no RNG draws, so storms never perturb the loss/crash
+  /// streams. Partition *checks* are pure time lookups — for them this
+  /// only exists so the trace stream marks the windows.
   void start();
 
   /// True when a—b crosses a cut gateway right now (pure, no RNG).
@@ -129,7 +164,8 @@ class FaultInjector {
   /// One message send a -> b: false when the message is lost, either to
   /// an open partition window or to random loss. Partition drops are
   /// deterministic and checked first; random loss draws from the
-  /// injector stream only when message_loss > 0.
+  /// injector stream only when message_loss > 0 (exactly one draw per
+  /// message in both the Bernoulli and the Gilbert–Elliott model).
   bool deliver(NodeId from, NodeId to);
 
   /// Stretches a negotiation delay by the jitter factor (identity, no
@@ -150,6 +186,8 @@ class FaultInjector {
   obs::EventBus* trace_ = nullptr;
   std::vector<std::uint32_t> host_domain_;
   FailureExecutor* failure_executor_ = nullptr;
+  StormEnumerator storm_enumerator_;
+  bool burst_bad_ = false;  // Gilbert–Elliott chain state
   Stats stats_;
 };
 

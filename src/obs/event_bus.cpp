@@ -22,6 +22,11 @@ const char* to_string(TraceEventKind kind) {
     case TraceEventKind::kPartitionStart: return "partition-start";
     case TraceEventKind::kPartitionEnd: return "partition-end";
     case TraceEventKind::kNegotiationTimeout: return "negotiation-timeout";
+    case TraceEventKind::kAdversaryLie: return "adversary-lie";
+    case TraceEventKind::kAdversaryDrop: return "adversary-drop";
+    case TraceEventKind::kEclipseCapture: return "eclipse-capture";
+    case TraceEventKind::kStormStart: return "storm-start";
+    case TraceEventKind::kStormEnd: return "storm-end";
     case TraceEventKind::kCount: break;
   }
   return "?";

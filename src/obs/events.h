@@ -32,8 +32,9 @@ enum class TraceEventKind : std::uint8_t {
                      // b = landmark; value = latency ms)
   kFaultLoss,        // injected message loss (a = from host, b = to host;
                      // detail = 1 random loss, 2 partition drop)
-  kFaultCrash,       // injected mid-negotiation crash executed
-                     // (a = victim slot, b = negotiation counterpart)
+  kFaultCrash,       // injected crash executed (a = victim slot,
+                     // b = negotiation counterpart, or the victim itself
+                     // with detail = 1 for storm-driven failures)
   kPartitionStart,   // scheduled stub-domain partition opened
                      // (a = stub domain id)
   kPartitionEnd,     // scheduled stub-domain partition healed
@@ -41,6 +42,17 @@ enum class TraceEventKind : std::uint8_t {
   kNegotiationTimeout,  // negotiation message lost, initiator timed out
                         // (a = initiator, b = counterpart;
                         // detail = retries already used)
+  kAdversaryLie,     // byzantine var distortion flipped a MIN_VAR decision
+                     // (a, b = endpoints; value = reported - true Var;
+                     // detail = 1 lie forced the exchange, 2 vetoed it)
+  kAdversaryDrop,    // selective dropper discarded the commit leg toward
+                     // an honest victim (a = dropper, b = initiator)
+  kEclipseCapture,   // eclipse attacker's host landed in a slot adjacent
+                     // to the victim (a = captured slot, b = target)
+  kStormStart,       // correlated-failure storm opened (a = stub domain;
+                     // detail = victims enumerated in the window)
+  kStormEnd,         // correlated-failure storm window closed
+                     // (a = stub domain)
   kCount
 };
 
@@ -54,6 +66,7 @@ enum class AbortReason : std::uint64_t {
   kNegotiationTimeout = 6,  // prepare retries exhausted (fault injection)
   kPeerCrashed = 7,     // endpoint crashed inside the two-phase window
   kPeerBusy = 8,        // counterpart already locked in another exchange
+  kAdversaryDrop = 9,   // dropper discarded the commit leg (byzantine)
 };
 
 /// The paper's protocol phases: warm-up (nodes still inside their first

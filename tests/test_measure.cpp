@@ -610,7 +610,7 @@ TEST(MeasureFastGolden, ResultJsonIdenticalAcrossThreadCounts) {
 // -------------------------------------- counters v5 / measure stanza ----
 
 TEST(MeasureCounters, V5ExposesKernelAndSnapshotCounters) {
-  EXPECT_EQ(ExperimentResult::kCountersVersion, 5);
+  EXPECT_EQ(ExperimentResult::kCountersVersion, 6);
   const ExperimentResult result = run_with_mode(kFastFig5Base, "exact");
   // Every sampler tick asked the cache for a snapshot: the capture /
   // reuse split depends on the trace build mode, but the total is the
