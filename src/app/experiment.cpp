@@ -16,6 +16,7 @@
 #include "metrics/convergence.h"
 #include "metrics/metrics.h"
 #include "pastry/pastry.h"
+#include "sim/local_ticks.h"
 #include "sim/serial_scheduler.h"
 #include "sim/sharded_scheduler.h"
 #include "tapestry/tapestry.h"
@@ -42,6 +43,7 @@ constexpr const char* kKnownKeys[] = {
     "churn_fail_rate", "churn_start",       "churn_end",
     "oracle",          "oracle_cache_rows", "measure_threads",
     "measure_mode",    "sim_shards",        "shard_window",
+    "sim_speculative", "sim_local_ticks",
     "trace",
     "trace_buffer",    "fault_loss",        "fault_jitter",
     "fault_crash",     "fault_max_retries", "fault_partition_domain",
@@ -430,6 +432,26 @@ SpecResult ExperimentSpec::from_config(const Config& config) {
             "give at least one of them an explicit count");
   }
 
+  spec.sim_speculative = p.get_enum<ExperimentSpec::Speculative>(
+      "sim_speculative",
+      {{"off", ExperimentSpec::Speculative::kOff},
+       {"on", ExperimentSpec::Speculative::kOn},
+       {"auto", ExperimentSpec::Speculative::kAuto}},
+      ExperimentSpec::Speculative::kOff);
+
+  spec.local_tick_period_s = p.get_double("sim_local_ticks", 0.0);
+  if (spec.local_tick_period_s < 0.0) {
+    p.error("sim_local_ticks", "must be >= 0 (seconds; 0 disables)");
+    spec.local_tick_period_s = 0.0;
+  }
+  if (spec.local_tick_period_s > 0.0 &&
+      spec.topology == Topology::kWaxman) {
+    p.error("sim_local_ticks",
+            "local maintenance ticks run per stub domain and require a "
+            "transit-stub topology",
+            "use topology = ts-large | ts-small, or drop the key");
+  }
+
   spec.trace_path = config.get_string("trace", "");
   if (!spec.trace_path.empty() && !obs::trace_compiled_in()) {
     p.error("trace", "trace output requires a PROPSIM_TRACE=ON build",
@@ -724,6 +746,11 @@ ExperimentResult::counters() const {
       {"adversary_eclipse_captures", adversary_eclipse_captures},
       {"fault_storm_failures", fault_storm_failures},
       {"fault_burst_losses", fault_burst_losses},
+      // v7: shard-local tick counters; zero unless sim_local_ticks is
+      // set, and then invariant across schedulers, shard counts and
+      // speculation — the digest witnesses event-order preservation.
+      {"local_ticks", local_ticks},
+      {"local_tick_digest", local_tick_digest},
   };
 }
 
@@ -790,9 +817,12 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
         std::min({domains, hw, sim::ShardedScheduler::kMaxShards});
   }
   std::unique_ptr<Scheduler> sim_owner;
+  ShardedScheduler* sharded_sim = nullptr;  // for the speculation report
   if (sim_shards > 1) {
-    sim_owner =
-        std::make_unique<ShardedScheduler>(sim_shards, spec.shard_window_s);
+    auto sharded = std::make_unique<ShardedScheduler>(
+        sim_shards, spec.shard_window_s, spec.speculation_armed());
+    sharded_sim = sharded.get();
+    sim_owner = std::move(sharded);
   } else {
     sim_owner = std::make_unique<SerialScheduler>();
   }
@@ -1191,6 +1221,24 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
         *net, sim, tparams, resolve, spec.seed + 109);
   }
 
+  // Shard-local maintenance ticks: the only event stream annotated
+  // Locality::kShardLocal, so the speculative scheduler path has work
+  // to overlap with the serial merge. Seeded independently of the main
+  // Rng chain — enabling ticks never perturbs any other stream.
+  std::unique_ptr<sim::LocalTickProcess> local_ticks;
+  if (spec.local_tick_period_s > 0.0) {
+    PROPSIM_CHECK(ts != nullptr);  // from_config enforces transit-stub
+    sim::LocalTickParams tick_params;
+    tick_params.period_s = spec.local_tick_period_s;
+    tick_params.start_s = 0.0;
+    tick_params.end_s = spec.horizon_s;
+    local_ticks = std::make_unique<sim::LocalTickProcess>(
+        sim, tick_params,
+        static_cast<std::uint32_t>(std::max<std::size_t>(
+            ts->stub_domain_count, 1)),
+        spec.seed + 0x9e3779b9ULL);
+  }
+
   // Paranoid builds re-lint the live overlay as it runs (no-op
   // otherwise). Degree conservation and partition closure assume stable
   // membership, and LTM rewires degrees by design, so both disengage
@@ -1206,6 +1254,7 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
       sim, 0.0, spec.horizon_s, spec.sample_interval_s, prepare,
       {ConvergenceSampler::NamedMetric{result.metric_name, metric}});
   if (faults) faults->start();
+  if (local_ticks) local_ticks->start();
   if (traffic) traffic->start();
   if (prop) prop->start();
   if (ltm) ltm->start();
@@ -1252,6 +1301,19 @@ ExperimentResult run_experiment(const ExperimentSpec& spec) {
   result.sim_events_executed = sim.executed_events();
   result.sim_events_scheduled = sim.scheduled_events();
   result.sim_events_cancelled = sim.cancelled_events();
+  if (local_ticks) {
+    result.local_ticks = local_ticks->ticks();
+    result.local_tick_digest = local_ticks->digest();
+  }
+  if (sharded_sim != nullptr && sharded_sim->speculative()) {
+    const auto& st = sharded_sim->stats();
+    result.speculation_active = true;
+    result.speculation_speculated = st.speculated;
+    result.speculation_replayed = st.replayed;
+    result.speculation_windows = st.spec_windows;
+    result.speculation_conflicts = st.conflicts;
+    result.speculation_conflict_rate = st.conflict_rate();
+  }
   result.measure_exact_floods = measure.stats().exact_floods;
   result.measure_fast_floods = measure.stats().fast_floods;
   result.measure_snapshot_captures = snap_cache.captures();

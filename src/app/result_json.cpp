@@ -54,6 +54,19 @@ Json experiment_result_json(const ExperimentSpec& spec,
   sim.set("events_executed", result.sim_events_executed)
       .set("events_scheduled", result.sim_events_scheduled)
       .set("events_cancelled", result.sim_events_cancelled);
+  // Speculation stanza (additive; present only when sim_speculative
+  // arms a multi-shard run). This is the one deliberately shard-count-
+  // dependent block in the result — it reports scheduler internals, so
+  // cross-shard golden comparisons strip it before diffing.
+  if (result.speculation_active) {
+    Json speculation = Json::object();
+    speculation.set("speculated", result.speculation_speculated)
+        .set("replayed", result.speculation_replayed)
+        .set("windows", result.speculation_windows)
+        .set("conflicts", result.speculation_conflicts)
+        .set("conflict_rate", result.speculation_conflict_rate);
+    sim.set("speculation", std::move(speculation));
+  }
   out.set("sim", std::move(sim));
 
   // Measurement stanza (additive). The resolved kernel plus its work

@@ -1,0 +1,72 @@
+#include "sim/local_ticks.h"
+
+namespace propsim::sim {
+
+namespace {
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x00000100000001b3ULL;
+
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xFF;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+}  // namespace
+
+LocalTickProcess::LocalTickProcess(Scheduler& sim,
+                                   const LocalTickParams& params,
+                                   std::uint32_t domains, std::uint64_t seed)
+    : sim_(sim), params_(params) {
+  PROPSIM_CHECK(params_.period_s > 0.0);
+  PROPSIM_CHECK(params_.end_s >= params_.start_s);
+  per_domain_.reserve(domains);
+  for (std::uint32_t d = 0; d < domains; ++d) {
+    // Golden-ratio stride keeps sibling domain streams decorrelated.
+    per_domain_.emplace_back(seed + 0x9e3779b97f4a7c15ULL * (d + 1));
+  }
+}
+
+void LocalTickProcess::start() {
+  for (std::uint32_t d = 0; d < per_domain_.size(); ++d) {
+    schedule_next(d, params_.start_s);
+  }
+}
+
+void LocalTickProcess::schedule_next(std::uint32_t d, double from_s) {
+  DomainState& st = per_domain_[d];
+  const double gap = params_.period_s * st.rng.uniform_double(0.5, 1.5);
+  const double next = from_s + gap;
+  if (next > params_.end_s) return;
+  // Pinned to the domain's shard with the same modulo rule the
+  // experiment wiring uses for slots; the hint never affects semantics.
+  const auto shard = static_cast<ShardId>(
+      d % static_cast<std::uint32_t>(sim_.shard_count()));
+  sim_.schedule_at(next, shard, Locality::kShardLocal, [this, d] { tick(d); });
+}
+
+void LocalTickProcess::tick(std::uint32_t d) {
+  DomainState& st = per_domain_[d];
+  ++st.ticks;
+  std::uint64_t h = st.accum == 0 ? kFnvOffset : st.accum;
+  h = fnv_mix(h, d);
+  h = fnv_mix(h, st.ticks);
+  h = fnv_mix(h, st.rng.next());
+  st.accum = h;
+  schedule_next(d, sim_.now());
+}
+
+std::uint64_t LocalTickProcess::ticks() const {
+  std::uint64_t total = 0;
+  for (const DomainState& st : per_domain_) total += st.ticks;
+  return total;
+}
+
+std::uint64_t LocalTickProcess::digest() const {
+  std::uint64_t h = kFnvOffset;
+  for (const DomainState& st : per_domain_) h = fnv_mix(h, st.accum);
+  return h;
+}
+
+}  // namespace propsim::sim

@@ -2,17 +2,26 @@
 
 namespace propsim::sim {
 
-EventId Scheduler::schedule_at(double when, ShardId shard, Callback fn) {
-  PROPSIM_CHECK(when >= now_);
+EventId Scheduler::schedule_at(double when, ShardId shard,
+                               Locality locality, Callback fn) {
   PROPSIM_CHECK(fn != nullptr);
-  const EventId id = next_id_++;
-  ++scheduled_;
+  // A speculative implementation intercepts schedules made by callbacks
+  // it is currently running off the merge thread: the op is deferred
+  // into the worker's recorder and the returned id is provisional. The
+  // default implementation never intercepts.
+  if (EventId spec = speculative_schedule(when, shard, locality, fn);
+      spec != kInvalidEvent) {
+    return spec;
+  }
+  PROPSIM_CHECK(when >= now_);
+  const EventId id = take_next_id();
   callbacks_.emplace(id, std::move(fn));
-  enqueue(Entry{when, id}, shard);
+  enqueue(Entry{when, id, locality == Locality::kShardLocal}, shard);
   return id;
 }
 
 bool Scheduler::cancel(EventId id) {
+  if (int spec = speculative_cancel(id); spec >= 0) return spec != 0;
   // The heap entry stays behind as a tombstone and is skipped on pop.
   if (callbacks_.erase(id) == 0) return false;
   ++cancelled_;

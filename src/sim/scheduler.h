@@ -13,6 +13,20 @@
 // route the event to the owning shard's heap; the serial implementation
 // ignores the hint. Events without a natural home (global Poisson
 // arrivals, partition traces, samplers) use the unpinned overloads.
+//
+// Locality contract. A callback scheduled with Locality::kShardLocal
+// promises that its entire effect is confined to state owned by its
+// shard plus calls back into this scheduler: no shared-engine RNG
+// draws, no trace-bus emissions, no reads or writes of another shard's
+// slots, no retention of the returned EventId beyond the callback (ids
+// handed out during speculative execution are provisional). A sharded
+// implementation may then execute it speculatively, off the merge
+// thread, with schedule()/cancel() effects deferred and replayed in
+// exact (time, id) order — which is what keeps results byte-identical
+// to SerialScheduler. Everything else (the default, kGlobal) always
+// executes serially in global order. The annotation is reviewed
+// per-site (detlint rule D10 polices the capture discipline); a wrong
+// kShardLocal annotation is a correctness bug, not a perf knob.
 #pragma once
 
 #include <cstdint>
@@ -36,6 +50,12 @@ constexpr ShardId kNoShard = 0xFFFFFFFFu;
 
 namespace sim {
 
+/// Per-event locality annotation (see the contract in the file comment).
+enum class Locality : std::uint8_t {
+  kGlobal,      // may touch anything; always executes serially
+  kShardLocal,  // effects confined to the owning shard; speculable
+};
+
 class Scheduler {
  public:
   using Callback = std::function<void()>;
@@ -43,7 +63,9 @@ class Scheduler {
   /// Verification hook: `fn` runs after every `every_n_events` executed
   /// events (and sees the post-event state). One hook at a time; pass a
   /// null fn to uninstall. Used by the paranoid invariant audit
-  /// (analysis/invariant_checker.h) and by tests.
+  /// (analysis/invariant_checker.h) and by tests. While a hook is
+  /// installed, implementations must not execute events speculatively
+  /// (the hook observes global state at exact event boundaries).
   using AuditHook = std::function<void(const Scheduler&)>;
 
   Scheduler() = default;
@@ -51,7 +73,9 @@ class Scheduler {
   Scheduler& operator=(const Scheduler&) = delete;
   virtual ~Scheduler() = default;
 
-  double now() const { return now_; }
+  /// Simulated clock. Virtual so a speculative implementation can answer
+  /// with the executing event's own time off the merge thread.
+  virtual double now() const { return now_; }
   std::size_t pending_events() const { return callbacks_.size(); }
   std::uint64_t executed_events() const { return executed_; }
   std::uint64_t scheduled_events() const { return scheduled_; }
@@ -64,18 +88,29 @@ class Scheduler {
   /// Schedules `fn` to run `delay` seconds from now (delay >= 0).
   EventId schedule_in(double delay, Callback fn) {
     PROPSIM_CHECK(delay >= 0.0);
-    return schedule_at(now_ + delay, kNoShard, std::move(fn));
+    return schedule_at(now() + delay, kNoShard, Locality::kGlobal,
+                       std::move(fn));
   }
   EventId schedule_in(double delay, ShardId shard, Callback fn) {
     PROPSIM_CHECK(delay >= 0.0);
-    return schedule_at(now_ + delay, shard, std::move(fn));
+    return schedule_at(now() + delay, shard, Locality::kGlobal,
+                       std::move(fn));
+  }
+  EventId schedule_in(double delay, ShardId shard, Locality locality,
+                      Callback fn) {
+    PROPSIM_CHECK(delay >= 0.0);
+    return schedule_at(now() + delay, shard, locality, std::move(fn));
   }
 
   /// Schedules `fn` at absolute time `when` (>= now).
   EventId schedule_at(double when, Callback fn) {
-    return schedule_at(when, kNoShard, std::move(fn));
+    return schedule_at(when, kNoShard, Locality::kGlobal, std::move(fn));
   }
-  EventId schedule_at(double when, ShardId shard, Callback fn);
+  EventId schedule_at(double when, ShardId shard, Callback fn) {
+    return schedule_at(when, shard, Locality::kGlobal, std::move(fn));
+  }
+  EventId schedule_at(double when, ShardId shard, Locality locality,
+                      Callback fn);
 
   /// Cancels a pending event; returns false if it already ran or was
   /// cancelled before.
@@ -116,6 +151,7 @@ class Scheduler {
   struct Entry {
     double time;
     EventId id;  // doubles as a tie-breaking sequence number
+    bool local = false;  // Locality::kShardLocal at schedule time
     bool operator>(const Entry& other) const {
       if (time != other.time) return time > other.time;
       return id > other.id;
@@ -126,6 +162,19 @@ class Scheduler {
   /// callback table) under `shard` (kNoShard = implementation's choice).
   virtual void enqueue(const Entry& entry, ShardId shard) = 0;
 
+  /// Speculative intercepts. schedule_at/cancel consult these before
+  /// touching any shared structure; a speculative implementation routes
+  /// the call to the executing worker's deferred-op recorder and returns
+  /// a provisional answer. Defaults (serial semantics): no interception.
+  /// speculative_schedule returns kInvalidEvent to decline;
+  /// speculative_cancel returns -1 to decline, else 0/1 as the bool.
+  virtual EventId speculative_schedule(double /*when*/, ShardId /*shard*/,
+                                       Locality /*locality*/,
+                                       Callback& /*fn*/) {
+    return kInvalidEvent;
+  }
+  virtual int speculative_cancel(EventId /*id*/) { return -1; }
+
   /// Shared execution path: extracts the callback (returns false for a
   /// cancelled tombstone), advances the clock, runs it, fires the audit
   /// hook. Implementations must call this in exactly the global
@@ -134,6 +183,36 @@ class Scheduler {
 
   /// True while `id` has not run and has not been cancelled.
   bool live(EventId id) const { return callbacks_.contains(id); }
+
+  /// True while an audit hook is installed (speculation must stand down).
+  bool has_audit() const { return audit_ != nullptr; }
+
+  /// Commit-time bookkeeping for speculative execution. take_next_id
+  /// consumes the id stream exactly as a serial schedule would (so every
+  /// later tie-break matches); register_callback files the callback for
+  /// an event that has NOT run yet; the extract/count helpers account
+  /// for events whose callbacks ran (or were cancelled) off the serial
+  /// path. All must be called from the merge thread only.
+  EventId take_next_id() {
+    ++scheduled_;
+    return next_id_++;
+  }
+  void register_callback(EventId id, Callback fn) {
+    callbacks_.emplace(id, std::move(fn));
+  }
+  /// Removes and returns the callback for a pending event (check-fails
+  /// if absent): speculative prefixes extract their callbacks up front
+  /// so workers never touch the shared table.
+  Callback extract_callback(EventId id) {
+    auto node = callbacks_.extract(id);
+    PROPSIM_CHECK(!node.empty());
+    return std::move(node.mapped());
+  }
+  void count_executed(std::uint64_t n) { executed_ += n; }
+  void count_cancelled() { ++cancelled_; }
+  /// Advances the serial clock without executing (used when committing
+  /// an already-speculated event at its merge slot).
+  void advance_clock(double t) { now_ = t; }
 
   double now_ = 0.0;
 
@@ -151,6 +230,7 @@ class Scheduler {
 
 }  // namespace sim
 
+using sim::Locality;
 using sim::Scheduler;
 
 }  // namespace propsim

@@ -5,12 +5,22 @@
 
 namespace propsim::sim {
 
-ShardedScheduler::ShardedScheduler(std::size_t shards, double window_s)
+namespace {
+/// Below this many pending inbox entries the parallel fan-out costs more
+/// than the heap pushes; the threshold compares deterministic counts, so
+/// the serial/parallel choice is identical on every host.
+constexpr std::size_t kParallelIntegrateMin = 1024;
+}  // namespace
+
+ShardedScheduler::ShardedScheduler(std::size_t shards, double window_s,
+                                   bool speculative)
     : window_s_(window_s) {
   PROPSIM_CHECK(shards >= 1 && shards <= kMaxShards);
   PROPSIM_CHECK(window_s > 0.0);
   shards_.resize(shards);
-  handoff_.resize(shards * shards);
+  // Speculation needs peers to overlap with; at one shard the merge
+  // thread is the only executor and the pass would be pure overhead.
+  speculative_ = speculative && shards > 1;
   if (shards > 1) {
     const std::size_t hw = std::max<std::size_t>(
         1, static_cast<std::size_t>(std::thread::hardware_concurrency()));
@@ -18,31 +28,46 @@ ShardedScheduler::ShardedScheduler(std::size_t shards, double window_s)
   }
 }
 
+double ShardedScheduler::now() const {
+  // A speculative worker observes its executing event's own time, which
+  // is what the serial clock would read when that callback runs.
+  if (const SpecContext* ctx = spec_context();
+      ctx != nullptr && ctx->owner == this) {
+    return ctx->now;
+  }
+  return now_;
+}
+
 void ShardedScheduler::enqueue(const Entry& entry, ShardId shard) {
   const ShardId dst = resolve(shard, entry.id);
   if (in_window_ && entry.time <= window_end_) {
     // The merged execution list for the open window is already fixed;
     // the live heap interleaves this event at its exact (time, id) slot.
-    live_.push(LiveEntry{entry.time, entry.id, dst});
+    live_.push(LiveEntry{entry.time, entry.id, dst, entry.local});
     ++stats_.live_reroutes;
     return;
   }
   if (in_window_ && executing_shard_ != kNoShard && dst != executing_shard_) {
-    handoff_[executing_shard_ * shards_.size() + dst].push_back(entry);
     ++stats_.handoffs;
-    return;
   }
-  shards_[dst].heap.push(entry);
+  // All heap ordering work is deferred to the next integration, which
+  // runs on the pool: the merge thread only appends here.
+  shards_[dst].inbox.push_back(entry);
 }
 
-void ShardedScheduler::flush_handoffs() {
-  const std::size_t n = shards_.size();
-  for (std::size_t src = 0; src < n; ++src) {
-    for (std::size_t dst = 0; dst < n; ++dst) {
-      std::vector<Entry>& buffer = handoff_[src * n + dst];
-      for (const Entry& entry : buffer) shards_[dst].heap.push(entry);
-      buffer.clear();
-    }
+void ShardedScheduler::integrate() {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) total += shard.inbox.size();
+  if (total == 0) return;
+  const auto integrate_one = [this](std::size_t s) {
+    Shard& shard = shards_[s];
+    for (const Entry& entry : shard.inbox) shard.heap.push(entry);
+    shard.inbox.clear();
+  };
+  if (pool_ && total >= kParallelIntegrateMin) {
+    pool_->parallel_for(shards_.size(), integrate_one);
+  } else {
+    for (std::size_t s = 0; s < shards_.size(); ++s) integrate_one(s);
   }
 }
 
@@ -94,61 +119,355 @@ void ShardedScheduler::drain(double limit) {
   for (const Shard& shard : shards_) stats_.drained += shard.batch.size();
 }
 
-void ShardedScheduler::execute_window() {
+void ShardedScheduler::speculate_window() {
   const std::size_t n = shards_.size();
+  // Global cutoff G: earliest (time, id) over all non-shard-local
+  // drained events. Everything strictly before G is shard-local by
+  // construction, and no speculative callback can introduce a new
+  // non-local event (the contract restricts spawns to same-shard local),
+  // so G is exact, not an estimate.
+  spec_has_g_ = false;
+  for (std::size_t s = 0; s < n; ++s) {
+    for (const Entry& entry : shards_[s].batch) {
+      if (entry.local) continue;
+      if (!spec_has_g_ || spec_g_ > entry) {
+        spec_g_ = entry;
+        spec_has_g_ = true;
+      }
+      break;  // batch is sorted: the first non-local entry is the minimum
+    }
+  }
+  std::size_t total_prefix = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    Shard& shard = shards_[s];
+    std::size_t p = 0;
+    while (p < shard.batch.size() &&
+           (!spec_has_g_ || spec_g_ > shard.batch[p])) {
+      ++p;
+    }
+    shard.prefix = p;
+    total_prefix += p;
+  }
+  if (total_prefix == 0) return;
+  ++stats_.spec_windows;
+  // Extract prefix callbacks up front (serially) so workers never touch
+  // the shared callback table; the sorted id list arms the tripwire for
+  // cross-shard cancels of speculated events.
+  extracted_ids_.clear();
+  for (std::size_t s = 0; s < n; ++s) {
+    Shard& shard = shards_[s];
+    shard.prefix_fns.clear();
+    shard.prefix_skip.assign(shard.prefix, 0);
+    for (std::size_t i = 0; i < shard.prefix; ++i) {
+      shard.prefix_fns.push_back(extract_callback(shard.batch[i].id));
+      extracted_ids_.push_back(shard.batch[i].id);
+    }
+  }
+  std::sort(extracted_ids_.begin(), extracted_ids_.end());
+  pool_->parallel_for(n, [this](std::size_t s) { run_speculative(s); });
+  for (std::size_t s = 0; s < n; ++s) {
+    SpecLog& log = shards_[s].log;
+    log.seq_to_real.assign(log.seq_to_op.size(), kInvalidEvent);
+    stats_.speculated += log.entries.size();
+  }
+}
+
+void ShardedScheduler::run_speculative(std::size_t s) {
+  Shard& shard = shards_[s];
+  if (shard.prefix == 0) return;
+  SpecContext ctx;
+  ctx.owner = this;
+  ctx.shard = static_cast<ShardId>(s);
+  set_spec_context(&ctx);
+  const auto spawn_greater = std::greater<std::pair<double, std::uint32_t>>();
   for (;;) {
-    // Minimum (time, id) across the per-shard batch cursors and the live
-    // heap; `n` marks "take from the live heap".
+    while (shard.spec_bi < shard.prefix && shard.prefix_skip[shard.spec_bi]) {
+      ++shard.spec_bi;  // cancelled by an earlier event in this pass
+    }
+    while (!shard.spawn_heap.empty()) {
+      const std::uint32_t seq = shard.spawn_heap.front().second;
+      if (!shard.log.ops[shard.log.seq_to_op[seq]].cancelled_locally) break;
+      std::pop_heap(shard.spawn_heap.begin(), shard.spawn_heap.end(),
+                    spawn_greater);
+      shard.spawn_heap.pop_back();
+    }
+    const bool have_batch = shard.spec_bi < shard.prefix;
+    // A spawned event is runnable only inside the window and strictly
+    // before the cutoff time: at the cutoff time its (future) real id is
+    // larger than the cutoff event's, so it sorts after it.
+    const bool have_spawn =
+        !shard.spawn_heap.empty() &&
+        shard.spawn_heap.front().first <= window_end_ &&
+        (!spec_has_g_ || shard.spawn_heap.front().first < spec_g_.time);
+    if (!have_batch && !have_spawn) break;
+    // Equal times break toward the batch entry: its id predates the
+    // window, every spawned id is assigned later.
+    const bool take_batch =
+        have_batch && (!have_spawn ||
+                       shard.batch[shard.spec_bi].time <=
+                           shard.spawn_heap.front().first);
+    if (take_batch) {
+      const Entry& entry = shard.batch[shard.spec_bi];
+      ctx.now = entry.time;
+      shard.log.entries.push_back(
+          SpecLogEntry{entry.time, entry.id,
+                       static_cast<std::uint32_t>(shard.log.ops.size()), 0});
+      Callback fn = std::move(shard.prefix_fns[shard.spec_bi]);
+      ++shard.spec_bi;
+      fn();
+    } else {
+      const auto [time, seq] = shard.spawn_heap.front();
+      std::pop_heap(shard.spawn_heap.begin(), shard.spawn_heap.end(),
+                    spawn_greater);
+      shard.spawn_heap.pop_back();
+      SpecOp& op = shard.log.ops[shard.log.seq_to_op[seq]];
+      Callback fn = std::move(op.fn);
+      op.executed_locally = true;
+      ctx.now = time;
+      shard.log.entries.push_back(SpecLogEntry{
+          time, make_provisional(static_cast<ShardId>(s), seq),
+          static_cast<std::uint32_t>(shard.log.ops.size()), 0});
+      fn();
+    }
+  }
+  set_spec_context(nullptr);
+}
+
+EventId ShardedScheduler::speculative_schedule(double when, ShardId shard_hint,
+                                               Locality locality,
+                                               Callback& fn) {
+  SpecContext* ctx = spec_context();
+  if (ctx == nullptr || ctx->owner != this) return kInvalidEvent;
+  // Locality contract: a speculative callback may only schedule
+  // same-shard shard-local events. Anything else could have to execute
+  // between events other shards already ran, which is unrecoverable.
+  PROPSIM_CHECK(locality == Locality::kShardLocal);
+  PROPSIM_CHECK(shard_hint == ctx->shard);
+  PROPSIM_CHECK(when >= ctx->now);
+  Shard& shard = shards_[ctx->shard];
+  SpecLog& log = shard.log;
+  PROPSIM_CHECK(!log.entries.empty());
+  const auto seq = static_cast<std::uint32_t>(log.seq_to_op.size());
+  log.seq_to_op.push_back(static_cast<std::uint32_t>(log.ops.size()));
+  SpecOp op;
+  op.kind = SpecOp::Kind::kSchedule;
+  op.when = when;
+  op.seq = seq;
+  op.fn = std::move(fn);
+  log.ops.push_back(std::move(op));
+  ++log.entries.back().op_count;
+  // Candidate for local execution; the worker loop decides against the
+  // cutoff at pop time. Beyond-window spawns commit at the creator's
+  // merge slot and route through the normal inbox/live machinery.
+  if (when <= window_end_) {
+    shard.spawn_heap.emplace_back(when, seq);
+    std::push_heap(shard.spawn_heap.begin(), shard.spawn_heap.end(),
+                   std::greater<std::pair<double, std::uint32_t>>());
+  }
+  return make_provisional(ctx->shard, seq);
+}
+
+int ShardedScheduler::speculative_cancel(EventId id) {
+  SpecContext* ctx = spec_context();
+  if (ctx == nullptr || ctx->owner != this) {
+    // Provisional ids are only valid inside the callback that received
+    // them; one surviving to a non-speculative context was retained in
+    // violation of the locality contract.
+    PROPSIM_CHECK(!is_provisional(id));
+    return -1;
+  }
+  if (id == kInvalidEvent) return 0;
+  Shard& shard = shards_[ctx->shard];
+  SpecLog& log = shard.log;
+  if (is_provisional(id)) {
+    PROPSIM_CHECK(provisional_shard(id) == ctx->shard);
+    const std::uint32_t seq = provisional_seq(id);
+    PROPSIM_CHECK(seq < log.seq_to_op.size());
+    SpecOp& op = log.ops[log.seq_to_op[seq]];
+    if (op.executed_locally || op.cancelled_locally) return 0;
+    op.cancelled_locally = true;
+    op.fn = nullptr;
+    return 1;  // its spawn_heap entry is skipped lazily at pop
+  }
+  // Real id. Own-shard events already executed this pass answer false,
+  // exactly as the serial loop would (they ran before this slot).
+  for (std::size_t i = 0; i < shard.spec_bi; ++i) {
+    if (shard.batch[i].id == id) return 0;
+  }
+  // Not yet executed but in this shard's own prefix: drop the extracted
+  // callback and account the cancel at this event's merge slot.
+  for (std::size_t i = shard.spec_bi; i < shard.prefix; ++i) {
+    if (shard.batch[i].id != id) continue;
+    if (shard.prefix_skip[i] != 0) return 0;  // cancelled earlier this pass
+    shard.prefix_skip[i] = 1;
+    shard.prefix_fns[i] = nullptr;
+    SpecOp op;
+    op.kind = SpecOp::Kind::kCancelExtracted;
+    op.target = id;
+    op.expected = true;
+    log.ops.push_back(std::move(op));
+    ++log.entries.back().op_count;
+    return 1;
+  }
+  // Cancelling another shard's speculated event means the target's id
+  // crossed shards: a locality-contract violation, unrecoverable because
+  // the target may already have run.
+  PROPSIM_CHECK(!std::binary_search(extracted_ids_.begin(),
+                                    extracted_ids_.end(), id));
+  // Repeated cancel of the same target this pass: the first deferred op
+  // will consume it, so the serial answer to this call is false.
+  for (const EventId prior : shard.deferred_cancels) {
+    if (prior == id) return 0;
+  }
+  // A non-speculated target (own-shard pending event beyond the cutoff
+  // or in a future window). Nothing mutates the callback table during
+  // the pass, so its liveness now equals its liveness at this event's
+  // merge slot; the commit replay re-checks that equivalence.
+  const bool expected = live(id);
+  SpecOp op;
+  op.kind = SpecOp::Kind::kCancel;
+  op.target = id;
+  op.expected = expected;
+  log.ops.push_back(std::move(op));
+  ++log.entries.back().op_count;
+  if (expected) shard.deferred_cancels.push_back(id);
+  return expected ? 1 : 0;
+}
+
+void ShardedScheduler::commit_entry(std::size_t s,
+                                    const SpecLogEntry& log_entry) {
+  Shard& shard = shards_[s];
+  SpecLog& log = shard.log;
+  executing_shard_ = static_cast<ShardId>(s);
+  advance_clock(log_entry.time);
+  count_executed(1);
+  for (std::uint32_t i = log_entry.first_op;
+       i < log_entry.first_op + log_entry.op_count; ++i) {
+    SpecOp& op = log.ops[i];
+    switch (op.kind) {
+      case SpecOp::Kind::kSchedule: {
+        // Consume the id stream exactly where the serial loop would
+        // have: at the creator's execution slot, in call order.
+        const EventId id = take_next_id();
+        log.seq_to_real[op.seq] = id;
+        if (op.executed_locally) break;  // commits at its own log slot
+        if (op.cancelled_locally) {
+          count_cancelled();
+          break;
+        }
+        register_callback(id, std::move(op.fn));
+        enqueue(Entry{op.when, id, true}, static_cast<ShardId>(s));
+        break;
+      }
+      case SpecOp::Kind::kCancelExtracted:
+        count_cancelled();
+        break;
+      case SpecOp::Kind::kCancel: {
+        const bool actual = cancel(op.target);
+        // A mismatch means the answer given to the speculative callback
+        // diverged from serial semantics — only possible when two
+        // callbacks raced to cancel a shared event, which the locality
+        // contract forbids.
+        PROPSIM_CHECK(actual == op.expected);
+        break;
+      }
+    }
+  }
+}
+
+void ShardedScheduler::execute_window(bool speculative_pass) {
+  const std::size_t n = shards_.size();
+  std::uint64_t window_replayed = 0;
+  for (;;) {
+    // Minimum (time, id) across the per-shard speculation logs, batch
+    // cursors and the live heap; `n` marks "take from the live heap".
     std::size_t best = n;
+    bool best_is_log = false;
     Entry best_entry{0.0, 0};
     ShardId best_shard = kNoShard;
     bool found = false;
     for (std::size_t s = 0; s < n; ++s) {
       Shard& shard = shards_[s];
-      while (shard.cursor < shard.batch.size() &&
-             !live(shard.batch[shard.cursor].id)) {
-        ++shard.cursor;  // cancelled mid-window
+      Entry candidate;
+      bool is_log = false;
+      if (shard.log.cursor < shard.log.entries.size()) {
+        // Every log entry precedes the cutoff, hence also this shard's
+        // remaining batch; its spawned events resolve to real ids when
+        // their creator commits, which is always earlier in the log.
+        const SpecLogEntry& le = shard.log.entries[shard.log.cursor];
+        const EventId rid = is_provisional(le.id)
+                                ? shard.log.seq_to_real[provisional_seq(le.id)]
+                                : le.id;
+        PROPSIM_CHECK(rid != kInvalidEvent);
+        candidate = Entry{le.time, rid};
+        is_log = true;
+      } else {
+        while (shard.cursor < shard.batch.size() &&
+               !live(shard.batch[shard.cursor].id)) {
+          ++shard.cursor;  // cancelled mid-window (or ran speculatively)
+        }
+        if (shard.cursor >= shard.batch.size()) continue;
+        candidate = shard.batch[shard.cursor];
       }
-      if (shard.cursor >= shard.batch.size()) continue;
-      const Entry& candidate = shard.batch[shard.cursor];
       if (!found || best_entry > candidate) {
         best = s;
         best_entry = candidate;
         best_shard = static_cast<ShardId>(s);
+        best_is_log = is_log;
         found = true;
       }
     }
     while (!live_.empty() && !live(live_.top().id)) live_.pop();
     if (!live_.empty()) {
       const LiveEntry& top = live_.top();
-      const Entry candidate{top.time, top.id};
+      const Entry candidate{top.time, top.id, top.local};
       if (!found || best_entry > candidate) {
         best = n;
         best_entry = candidate;
         best_shard = top.shard;
+        best_is_log = false;
         found = true;
       }
     }
     if (!found) break;
+    if (best_is_log) {
+      Shard& shard = shards_[best];
+      commit_entry(best, shard.log.entries[shard.log.cursor]);
+      ++shard.log.cursor;
+      continue;
+    }
     if (best == n) {
       live_.pop();
     } else {
       ++shards_[best].cursor;
     }
+    if (speculative_pass && best_entry.local) ++window_replayed;
     executing_shard_ = best_shard;
     execute(best_entry);
   }
   executing_shard_ = kNoShard;
+  if (speculative_pass) {
+    stats_.replayed += window_replayed;
+    if (window_replayed > 0) ++stats_.conflicts;
+  }
   for (Shard& shard : shards_) {
     shard.batch.clear();
     shard.cursor = 0;
+    shard.prefix = 0;
+    shard.spec_bi = 0;
+    shard.prefix_fns.clear();
+    shard.prefix_skip.clear();
+    shard.spawn_heap.clear();
+    shard.deferred_cancels.clear();
+    shard.log.reset();
   }
 }
 
 void ShardedScheduler::run_until(double t_end) {
+  PROPSIM_CHECK(spec_context() == nullptr);  // not re-entrant from callbacks
   PROPSIM_CHECK(t_end >= now_);
   for (;;) {
-    flush_handoffs();
+    integrate();
     Entry first;
     std::size_t first_shard = 0;
     if (!earliest(first, first_shard) || first.time > t_end) break;
@@ -159,14 +478,19 @@ void ShardedScheduler::run_until(double t_end) {
     drain(w_end);
     in_window_ = true;
     window_end_ = w_end;
-    execute_window();
+    // Speculation stands down while an audit hook is installed: the hook
+    // observes global state at exact event boundaries.
+    const bool spec = speculative_ && !has_audit();
+    if (spec) speculate_window();
+    execute_window(spec);
     in_window_ = false;
   }
   now_ = t_end;
 }
 
 bool ShardedScheduler::step() {
-  flush_handoffs();
+  PROPSIM_CHECK(spec_context() == nullptr);
+  integrate();
   Entry entry;
   std::size_t shard_index = 0;
   if (!earliest(entry, shard_index)) return false;

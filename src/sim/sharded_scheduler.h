@@ -1,14 +1,18 @@
 // Domain-sharded event loop: one binary heap per stub-domain shard,
-// drained in conservative time-windowed lock-step.
+// drained in conservative time-windowed lock-step, with optional
+// speculative execution of provably shard-local events.
 //
 // Execution is bit-identical to SerialScheduler at any shard count. The
 // discipline (borrowed from MeasureEngine: deterministic chunks, serial
 // index-order reductions) is:
 //
-//   1. Handoff flush. Cross-shard events buffered during the previous
-//      window are merged into their destination heaps in serial
-//      (src, dst) shard-index order. Event ids were assigned at schedule
-//      time, so the equal-time FIFO tie-break survives the detour.
+//   1. Inbox integration. Events filed since the last window — initial
+//      schedules, cross-shard handoffs, same-shard beyond-window
+//      schedules — sit in per-shard append-only inboxes; each shard
+//      pushes its inbox into its heap on the ThreadPool (all heap
+//      ordering work happens off the merge thread). Event ids were
+//      assigned at schedule time, so the equal-time FIFO tie-break
+//      survives the detour.
 //   2. Window selection. The next window is anchored at the earliest
 //      pending event across all shards and spans `window_s` simulated
 //      seconds (clamped to t_end) — idle gaps are skipped, not walked.
@@ -17,16 +21,28 @@
 //      shared ThreadPool. This phase touches only per-shard heaps plus
 //      read-only tombstone lookups — no callback runs, no state mutates,
 //      so the fan-out cannot perturb the event sequence.
-//   4. Serial merge-execute. The per-shard batches (plus any events
-//      scheduled into the open window while it executes) are k-way
-//      merged by (time, id) and the callbacks run serially in exactly
-//      the order the serial loop would have produced.
+//   4. Speculative pass (only in speculative mode, and stood down while
+//      an audit hook is installed). The global cutoff G is the earliest
+//      (time, id) over all non-shard-local drained events; every batch
+//      entry before G is shard-local by construction. Each worker
+//      executes its shard's prefix — callbacks run for real, but every
+//      schedule/cancel they make is deferred into the shard's SpecLog
+//      (see speculation.h) and ids handed out are provisional. Workers
+//      also run events those callbacks spawn into their own shard below
+//      G, in exact (time, creation) order.
+//   5. Serial merge-execute. The per-shard speculation logs, remaining
+//      batches, and any events scheduled into the open window are k-way
+//      merged by (time, id); log entries *commit* (real ids assigned in
+//      exactly the order SerialScheduler would have consumed them,
+//      deferred ops applied) while everything else executes serially.
+//      Shard-local events that a global event forced onto this serial
+//      path count as replayed, and a window with any replay counts as a
+//      conflict.
 //
-// Events scheduled by a running callback route by destination: same
-// shard or past the window end -> owning heap; a different shard inside
-// the closed merge -> the live heap (step 4 interleaves it at its exact
-// (time, id) slot); a different shard beyond the window -> the
-// per-(src,dst) handoff buffer for the next flush.
+// Locality contract for speculative callbacks (see scheduler.h): they
+// may only schedule same-shard kShardLocal events and cancel own-shard
+// events; violations trip PROPSIM_CHECK at record or commit time.
+// detlint rule D10 polices the capture discipline statically.
 #pragma once
 
 #include <cstddef>
@@ -36,6 +52,7 @@
 
 #include "common/thread_pool.h"
 #include "sim/scheduler.h"
+#include "sim/speculation.h"
 
 namespace propsim {
 namespace sim {
@@ -46,38 +63,67 @@ class ShardedScheduler final : public Scheduler {
   static constexpr double kDefaultWindowS = 0.25;
 
   /// Shard-count-dependent internals, exposed for benches and tests
-  /// only. Never exported into counters or `propsim.result`: result
-  /// JSON must stay byte-identical across shard counts.
+  /// only — except the speculation block, which backs the opt-in
+  /// `sim.speculation` result stanza (the one shard-count-dependent
+  /// output; everything else in `propsim.result` must stay byte-identical
+  /// across shard counts).
   struct Stats {
-    std::uint64_t windows = 0;          // lock-step windows executed
-    std::uint64_t handoffs = 0;         // events routed via handoff buffers
-    std::uint64_t live_reroutes = 0;    // events landing inside the open window
-    std::uint64_t drained = 0;          // events drained by the parallel phase
+    std::uint64_t windows = 0;        // lock-step windows executed
+    std::uint64_t handoffs = 0;       // events filed to another shard's inbox
+    std::uint64_t live_reroutes = 0;  // events landing inside the open window
+    std::uint64_t drained = 0;        // events drained by the parallel phase
+    // Speculation (all zero unless speculative mode is active).
+    std::uint64_t speculated = 0;     // events executed off the merge thread
+    std::uint64_t replayed = 0;       // shard-local events forced serial
+    std::uint64_t spec_windows = 0;   // windows with a non-empty prefix
+    std::uint64_t conflicts = 0;      // windows with any replayed event
+    double conflict_rate() const {
+      return windows == 0 ? 0.0
+                          : static_cast<double>(conflicts) /
+                                static_cast<double>(windows);
+    }
   };
 
   explicit ShardedScheduler(std::size_t shards,
-                            double window_s = kDefaultWindowS);
+                            double window_s = kDefaultWindowS,
+                            bool speculative = false);
 
   std::size_t shard_count() const override { return shards_.size(); }
   double window_s() const { return window_s_; }
+  /// True when the speculative pass is armed (requires shards > 1).
+  bool speculative() const { return speculative_; }
   const Stats& stats() const { return stats_; }
 
+  double now() const override;
   void run_until(double t_end) override;
   bool step() override;
 
  protected:
   void enqueue(const Entry& entry, ShardId shard) override;
+  EventId speculative_schedule(double when, ShardId shard,
+                               Locality locality, Callback& fn) override;
+  int speculative_cancel(EventId id) override;
 
  private:
   struct Shard {
+    std::vector<Entry> inbox;  // filed since the last integration, unsorted
     std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
     std::vector<Entry> batch;  // drained for the open window, (time,id)-sorted
     std::size_t cursor = 0;    // merge progress into `batch`
+    // Speculative-pass state, reset every window.
+    std::size_t prefix = 0;    // batch[0, prefix) executes speculatively
+    std::size_t spec_bi = 0;   // worker progress into the prefix
+    std::vector<Callback> prefix_fns;   // extracted prefix callbacks
+    std::vector<char> prefix_skip;      // prefix entries cancelled mid-pass
+    std::vector<std::pair<double, std::uint32_t>> spawn_heap;  // (time, seq)
+    std::vector<EventId> deferred_cancels;  // kCancel targets this pass
+    SpecLog log;
   };
   struct LiveEntry {
     double time;
     EventId id;
     ShardId shard;  // owning shard, for attribution of nested schedules
+    bool local;     // Locality::kShardLocal at schedule time
     bool operator>(const LiveEntry& other) const {
       if (time != other.time) return time > other.time;
       return id > other.id;
@@ -91,9 +137,10 @@ class ShardedScheduler final : public Scheduler {
     return static_cast<ShardId>(id % shards_.size());
   }
 
-  /// Merges every handoff buffer into its destination heap, in serial
-  /// (src, dst) index order.
-  void flush_handoffs();
+  /// Pushes every shard's inbox into its heap — on the pool when the
+  /// backlog is worth the fan-out, serially otherwise (the choice
+  /// depends only on deterministic counts, never on timing).
+  void integrate();
 
   /// Pops tombstones off `shard`'s heap; true when a live top remains.
   bool peek_shard(Shard& shard, Entry& out);
@@ -106,19 +153,37 @@ class ShardedScheduler final : public Scheduler {
   /// the shard's sorted batch (tombstones dropped).
   void drain(double limit);
 
-  /// Serial phase: k-way merge the drained batches with the live heap
-  /// and run the callbacks in global (time, id) order.
-  void execute_window();
+  /// Computes the global cutoff, extracts prefix callbacks, and runs
+  /// the speculative pass on the pool.
+  void speculate_window();
+
+  /// Worker body: executes shard `s`'s prefix plus same-shard spawns
+  /// below the cutoff, recording every deferred op into the shard log.
+  void run_speculative(std::size_t s);
+
+  /// Replays one speculated event's deferred ops at its merge slot:
+  /// assigns real ids in serial order, files deferred schedules, applies
+  /// deferred cancels (check-failing if the recorded answer diverges).
+  void commit_entry(std::size_t s, const SpecLogEntry& log_entry);
+
+  /// Serial phase: k-way merge the speculation logs, drained batches and
+  /// the live heap by (time, id); log entries commit, the rest executes.
+  void execute_window(bool speculative_pass);
 
   double window_s_;
+  bool speculative_ = false;
   std::vector<Shard> shards_;
-  std::vector<std::vector<Entry>> handoff_;  // index = src * shards + dst
   std::priority_queue<LiveEntry, std::vector<LiveEntry>, std::greater<>>
       live_;  // events scheduled into the open window while it executes
   bool in_window_ = false;
   double window_end_ = 0.0;
   ShardId executing_shard_ = kNoShard;
-  std::unique_ptr<ThreadPool> pool_;  // null when shards == 1
+  // Speculative-window scratch (valid between speculate_window and the
+  // end of execute_window).
+  Entry spec_g_{0.0, 0};         // global cutoff: earliest non-local event
+  bool spec_has_g_ = false;
+  std::vector<EventId> extracted_ids_;  // sorted; cross-shard-cancel tripwire
+  std::unique_ptr<ThreadPool> pool_;    // null when shards == 1
   Stats stats_;
 };
 

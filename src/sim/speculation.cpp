@@ -1,0 +1,15 @@
+#include "sim/speculation.h"
+
+namespace propsim::sim {
+
+namespace {
+// det-ok(D3): thread identity is not observed; this is a per-thread
+// execution-mode marker, set and cleared by the speculative pass itself.
+thread_local SpecContext* g_spec_context = nullptr;
+}  // namespace
+
+SpecContext* spec_context() { return g_spec_context; }
+
+void set_spec_context(SpecContext* ctx) { g_spec_context = ctx; }
+
+}  // namespace propsim::sim

@@ -1,0 +1,108 @@
+// Speculation support for ShardedScheduler: deferred-op recording.
+//
+// During a speculative window each worker thread executes the
+// shard-local prefix of its shard's drained batch (every event strictly
+// before the global cutoff G = the earliest non-local event anywhere).
+// Callbacks run for real — application state mutates — but every call
+// back into the scheduler (schedule, cancel) is *deferred*: recorded
+// into the shard's SpecLog instead of touching shared structures. The
+// merge thread then replays the logs in exact global (time, id) order,
+// consuming the EventId stream precisely as SerialScheduler would have,
+// which is what keeps results byte-identical by construction.
+//
+// Ids handed to speculative callbacks are provisional (top bit set,
+// shard + sequence packed below); they are only valid inside the
+// callback that received them. The real id is assigned when the
+// deferred schedule op commits at its creator's merge slot.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/scheduler.h"
+
+namespace propsim::sim {
+
+/// Provisional EventId encoding. Real ids are assigned sequentially
+/// from 1 and can never reach the top bit within a run.
+constexpr EventId kProvisionalBit = 1ull << 63;
+constexpr EventId make_provisional(ShardId shard, std::uint32_t seq) {
+  return kProvisionalBit | (static_cast<EventId>(shard) << 32) | seq;
+}
+constexpr bool is_provisional(EventId id) {
+  return (id & kProvisionalBit) != 0;
+}
+constexpr ShardId provisional_shard(EventId id) {
+  return static_cast<ShardId>((id >> 32) & 0x7FFFFFFFu);
+}
+constexpr std::uint32_t provisional_seq(EventId id) {
+  return static_cast<std::uint32_t>(id);
+}
+
+/// One deferred scheduler call made by a speculative callback.
+struct SpecOp {
+  enum class Kind : std::uint8_t {
+    kSchedule,         // schedule_at by a speculative callback
+    kCancel,           // cancel of a non-speculated event (replayed live)
+    kCancelExtracted,  // cancel of a not-yet-run extracted prefix event
+  };
+  Kind kind = Kind::kSchedule;
+  // kSchedule fields. Speculative callbacks may only schedule same-shard
+  // kShardLocal events (enforced at record time), so no shard/locality
+  // needs to be carried: the destination is the recording shard.
+  double when = 0.0;
+  std::uint32_t seq = 0;           // provisional sequence number
+  std::function<void()> fn;        // empty once executed/cancelled locally
+  bool executed_locally = false;   // ran inside the same speculative pass
+  bool cancelled_locally = false;  // cancelled before running, same pass
+  // kCancel / kCancelExtracted fields.
+  EventId target = kInvalidEvent;
+  bool expected = false;  // liveness answer given to the callback; the
+                          // commit replay check-fails on divergence
+};
+
+/// One event a worker executed speculatively: its merge key plus the
+/// contiguous range of ops its callback deferred.
+struct SpecLogEntry {
+  double time = 0.0;
+  EventId id = kInvalidEvent;  // real id, or provisional for spawned events
+  std::uint32_t first_op = 0;  // ops[first_op, first_op + op_count)
+  std::uint32_t op_count = 0;
+};
+
+/// Per-shard speculation log: the exact callback sequence one worker
+/// executed plus every scheduler op those callbacks deferred. Owned
+/// exclusively by its worker during the speculative pass, then replayed
+/// serially by the merge thread in global (time, id) order.
+struct SpecLog {
+  std::vector<SpecLogEntry> entries;
+  std::vector<SpecOp> ops;
+  std::vector<std::uint32_t> seq_to_op;  // spawn seq -> index into ops
+  std::vector<EventId> seq_to_real;      // spawn seq -> committed real id
+  std::size_t cursor = 0;                // merge-replay progress
+
+  void reset() {
+    entries.clear();
+    ops.clear();
+    seq_to_op.clear();
+    seq_to_real.clear();
+    cursor = 0;
+  }
+};
+
+/// Thread-local marker that the current thread is executing speculative
+/// callbacks: which scheduler owns the pass, which shard this worker
+/// drives, and the executing event's own time (what now() answers).
+struct SpecContext {
+  const void* owner = nullptr;  // the ShardedScheduler running the pass
+  ShardId shard = kNoShard;
+  double now = 0.0;
+};
+
+/// Current thread's speculative context (null on the merge thread and
+/// outside speculative passes).
+SpecContext* spec_context();
+void set_spec_context(SpecContext* ctx);
+
+}  // namespace propsim::sim

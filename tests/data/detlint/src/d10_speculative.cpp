@@ -1,0 +1,11 @@
+// Fixture: D10 must flag default and by-reference captures in the
+// Locality::kShardLocal schedule calls below, and nothing else.
+void drive(Sim& sim, unsigned domain) {
+  int local = 0;
+  sim.schedule_at(1.0, domain, Locality::kShardLocal, [&] { local += 1; });
+  sim.schedule_at(2.0, domain, Locality::kShardLocal, [=] { (void)local; });
+  sim.schedule_in(3.0, domain, Locality::kShardLocal, [this, &local] {});
+  sim.schedule_at(4.0, domain, Locality::kShardLocal, [this, domain] {});
+  sim.schedule_at(5.0, domain, Locality::kGlobal, [local] { (void)local; });
+  sim.schedule_in(6.0, [=] { (void)local; });
+}

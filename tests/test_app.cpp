@@ -334,7 +334,7 @@ TEST(RunExperiment, OracleModesAgree) {
 
 TEST(ExperimentResult, CountersViewIsStable) {
   const auto result = run_experiment(must_parse(small_base("")));
-  EXPECT_EQ(ExperimentResult::kCountersVersion, 6);
+  EXPECT_EQ(ExperimentResult::kCountersVersion, 7);
   const auto counters = result.counters();
   ASSERT_GE(counters.size(), 4u);
   // Spot-check the fixed order and that values mirror the struct.

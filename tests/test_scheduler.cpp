@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "sim/local_ticks.h"
 #include "sim/serial_scheduler.h"
 #include "sim/sharded_scheduler.h"
 
@@ -267,6 +268,247 @@ TEST(ShardedScheduler, FuzzKeepsWindowMachineryBusy) {
   EXPECT_GT(sharded.stats().windows, 0u);
   EXPECT_GT(sharded.stats().drained, 0u);
   EXPECT_GT(sharded.stats().handoffs + sharded.stats().live_reroutes, 0u);
+}
+
+// ------------------------------------------------ speculative execution ----
+
+using sim::LocalTickParams;
+using sim::LocalTickProcess;
+
+void expect_counters_match(const Scheduler& got, const Scheduler& want) {
+  EXPECT_EQ(got.executed_events(), want.executed_events());
+  EXPECT_EQ(got.scheduled_events(), want.scheduled_events());
+  EXPECT_EQ(got.cancelled_events(), want.cancelled_events());
+  EXPECT_EQ(got.pending_events(), want.pending_events());
+  EXPECT_DOUBLE_EQ(got.now(), want.now());
+}
+
+TEST(ShardedScheduler, SpeculativeAllLocalBitIdenticalToSerial) {
+  // Pure shard-local tick chains: with no global events the cutoff is
+  // open and everything runs off the merge thread, conflict-free.
+  LocalTickParams params;
+  params.period_s = 0.4;
+  params.end_s = 30.0;
+  SerialScheduler serial;
+  LocalTickProcess reference(serial, params, /*domains=*/12, /*seed=*/11);
+  reference.start();
+  serial.run_until(30.0);
+  ASSERT_GT(reference.ticks(), 0u);
+
+  for (const std::size_t shards : {2u, 3u, 8u}) {
+    for (const double window : {0.05, 0.5, 1e6}) {
+      ShardedScheduler sharded(shards, window, /*speculative=*/true);
+      ASSERT_TRUE(sharded.speculative());
+      LocalTickProcess ticks(sharded, params, 12, 11);
+      ticks.start();
+      sharded.run_until(30.0);
+      EXPECT_EQ(ticks.ticks(), reference.ticks());
+      EXPECT_EQ(ticks.digest(), reference.digest());
+      expect_counters_match(sharded, serial);
+      EXPECT_GT(sharded.stats().speculated, 0u) << shards << "/" << window;
+      EXPECT_EQ(sharded.stats().replayed, 0u);
+      EXPECT_EQ(sharded.stats().conflicts, 0u);
+      EXPECT_DOUBLE_EQ(sharded.stats().conflict_rate(), 0.0);
+    }
+  }
+}
+
+TEST(ShardedScheduler, SpeculativeMixedWorkloadBitIdenticalToSerial) {
+  // Local tick chains interleaved with the global fuzz workload: global
+  // events truncate speculative prefixes mid-window, forcing replays,
+  // and the result must still match serial bit for bit.
+  LocalTickParams params;
+  params.period_s = 0.15;
+  params.end_s = 60.0;
+  for (const std::uint64_t seed : {7ULL, 21ULL, 97ULL}) {
+    SerialScheduler serial;
+    serial.set_shard_map(fuzz_shard_map(1));
+    FuzzWorkload ref_fuzz(serial, seed);
+    LocalTickProcess ref_ticks(serial, params, /*domains=*/8, seed + 1);
+    ref_fuzz.start(24);
+    ref_ticks.start();
+    serial.run_until(60.0);
+
+    std::uint64_t total_speculated = 0;
+    std::uint64_t total_replayed = 0;
+    std::uint64_t total_conflicts = 0;
+    for (const std::size_t shards : {2u, 3u, 8u}) {
+      for (const double window : {0.1, 1.0, 1e6}) {
+        ShardedScheduler sharded(shards, window, /*speculative=*/true);
+        sharded.set_shard_map(fuzz_shard_map(shards));
+        FuzzWorkload fuzz(sharded, seed);
+        LocalTickProcess ticks(sharded, params, 8, seed + 1);
+        fuzz.start(24);
+        ticks.start();
+        sharded.run_until(60.0);
+        EXPECT_EQ(fuzz.log(), ref_fuzz.log())
+            << "seed " << seed << " shards " << shards << " window "
+            << window;
+        EXPECT_EQ(ticks.ticks(), ref_ticks.ticks());
+        EXPECT_EQ(ticks.digest(), ref_ticks.digest());
+        expect_counters_match(sharded, serial);
+        total_speculated += sharded.stats().speculated;
+        total_replayed += sharded.stats().replayed;
+        total_conflicts += sharded.stats().conflicts;
+      }
+    }
+    // The sweep must actually exercise both the speculative fast path
+    // and the conflict-replay path.
+    EXPECT_GT(total_speculated, 0u);
+    EXPECT_GT(total_replayed, 0u);
+    EXPECT_GT(total_conflicts, 0u);
+  }
+}
+
+TEST(ShardedScheduler, SpeculativeSpawnAtExactWindowEndRunsInWindow) {
+  // Window anchors at t=0.1 and spans 0.5, so it closes exactly at 0.6.
+  // A speculated callback spawns its next event at precisely the window
+  // end — still inside the window, still before the (absent) cutoff, so
+  // it must execute within the same speculative pass.
+  ShardedScheduler sim(2, /*window_s=*/0.5, /*speculative=*/true);
+  std::vector<double> shard0_times;
+  std::vector<double> shard1_times;
+  sim.schedule_at(0.1, /*shard=*/0, sim::Locality::kShardLocal, [&] {
+    shard0_times.push_back(sim.now());
+    sim.schedule_at(0.6, /*shard=*/0, sim::Locality::kShardLocal,
+                    [&] { shard0_times.push_back(sim.now()); });
+  });
+  sim.schedule_at(0.55, /*shard=*/1, sim::Locality::kShardLocal,
+                  [&] { shard1_times.push_back(sim.now()); });
+  sim.run_until(2.0);
+  EXPECT_EQ(shard0_times, (std::vector<double>{0.1, 0.6}));
+  EXPECT_EQ(shard1_times, (std::vector<double>{0.55}));
+  EXPECT_EQ(sim.executed_events(), 3u);
+  EXPECT_EQ(sim.stats().windows, 1u);
+  EXPECT_EQ(sim.stats().speculated, 3u);
+  EXPECT_EQ(sim.stats().replayed, 0u);
+}
+
+TEST(ShardedScheduler, SpeculativeTinyWindowsOneEventEach) {
+  // shard_window far below the minimum event spacing: every window
+  // holds a single event and the machinery must neither stall nor
+  // diverge from serial.
+  LocalTickParams params;
+  params.period_s = 5.0;
+  params.end_s = 50.0;
+  SerialScheduler serial;
+  LocalTickProcess reference(serial, params, /*domains=*/4, /*seed=*/3);
+  reference.start();
+  serial.run_until(50.0);
+
+  ShardedScheduler sharded(4, /*window_s=*/0.01, /*speculative=*/true);
+  LocalTickProcess ticks(sharded, params, 4, 3);
+  ticks.start();
+  sharded.run_until(50.0);
+  EXPECT_EQ(ticks.ticks(), reference.ticks());
+  EXPECT_EQ(ticks.digest(), reference.digest());
+  expect_counters_match(sharded, serial);
+  EXPECT_EQ(sharded.stats().speculated, sharded.executed_events());
+  EXPECT_GE(sharded.stats().windows, sharded.executed_events());
+}
+
+TEST(ShardedScheduler, SpeculativeCancelOfOwnSpawnInsideCallback) {
+  // A speculated callback schedules a same-shard local event and
+  // immediately cancels the provisional id. Counters must match serial
+  // exactly: one schedule, one cancel, never executed.
+  const auto run = [](Scheduler& sim) {
+    bool spawned_ran = false;
+    sim.schedule_at(0.1, /*shard=*/0, sim::Locality::kShardLocal, [&] {
+      const EventId id =
+          sim.schedule_at(0.2, /*shard=*/0, sim::Locality::kShardLocal,
+                          [&] { spawned_ran = true; });
+      EXPECT_TRUE(sim.cancel(id));
+      EXPECT_FALSE(sim.cancel(id));
+    });
+    // Keep the second shard busy so the pass has real overlap.
+    sim.schedule_at(0.15, /*shard=*/1, sim::Locality::kShardLocal, [] {});
+    sim.run_until(1.0);
+    return spawned_ran;
+  };
+  SerialScheduler serial;
+  ShardedScheduler sharded(2, /*window_s=*/0.5, /*speculative=*/true);
+  EXPECT_FALSE(run(serial));
+  EXPECT_FALSE(run(sharded));
+  EXPECT_GT(sharded.stats().speculated, 0u);
+  expect_counters_match(sharded, serial);
+  EXPECT_EQ(sharded.cancelled_events(), 1u);
+}
+
+TEST(ShardedScheduler, SpeculativeDeferredCancelOfPendingOwnShardEvent) {
+  // A speculated callback cancels an own-shard event parked far beyond
+  // the window. The cancel is deferred and replayed at the callback's
+  // merge slot; the recorded answer must match the live replay.
+  const auto run = [](Scheduler& sim) {
+    bool far_ran = false;
+    const EventId far =
+        sim.schedule_at(100.0, /*shard=*/0, sim::Locality::kShardLocal,
+                        [&] { far_ran = true; });
+    sim.schedule_at(1.0, /*shard=*/0, sim::Locality::kShardLocal,
+                    [&sim, far] { EXPECT_TRUE(sim.cancel(far)); });
+    sim.schedule_at(1.2, /*shard=*/1, sim::Locality::kShardLocal, [] {});
+    sim.run_until(200.0);
+    return far_ran;
+  };
+  SerialScheduler serial;
+  ShardedScheduler sharded(2, /*window_s=*/0.5, /*speculative=*/true);
+  EXPECT_FALSE(run(serial));
+  EXPECT_FALSE(run(sharded));
+  EXPECT_GT(sharded.stats().speculated, 0u);
+  expect_counters_match(sharded, serial);
+  EXPECT_EQ(sharded.cancelled_events(), 1u);
+}
+
+TEST(ShardedScheduler, SpeculationStandsDownWhileAuditInstalled) {
+  // The audit hook observes global state at exact event boundaries, so
+  // a speculative scheduler must fall back to pure serial merging and
+  // fire audits at identical counts.
+  LocalTickParams params;
+  params.period_s = 0.3;
+  params.end_s = 20.0;
+  const auto run = [&params](Scheduler& sim) {
+    std::vector<std::pair<std::uint64_t, double>> audits;
+    sim.set_audit(
+        [&](const Scheduler& s) {
+          audits.emplace_back(s.executed_events(), s.now());
+        },
+        5);
+    LocalTickProcess ticks(sim, params, /*domains=*/6, /*seed=*/9);
+    ticks.start();
+    sim.run_until(20.0);
+    return audits;
+  };
+  SerialScheduler serial;
+  ShardedScheduler sharded(3, /*window_s=*/0.5, /*speculative=*/true);
+  EXPECT_EQ(run(serial), run(sharded));
+  EXPECT_EQ(sharded.stats().speculated, 0u);
+  EXPECT_EQ(sharded.stats().replayed, 0u);
+}
+
+TEST(ShardedScheduler, PureGlobalWorkloadNeverSpeculates) {
+  // Default-locality events must never enter the speculative pass: the
+  // cutoff sits at the window's first event and every prefix is empty.
+  ShardedScheduler sharded(4, /*window_s=*/0.5, /*speculative=*/true);
+  sharded.set_shard_map(fuzz_shard_map(4));
+  FuzzWorkload workload(sharded, 7);
+  workload.start(24);
+  sharded.run_until(60.0);
+  EXPECT_GT(sharded.executed_events(), 0u);
+  EXPECT_EQ(sharded.stats().speculated, 0u);
+  EXPECT_EQ(sharded.stats().spec_windows, 0u);
+  EXPECT_EQ(sharded.stats().conflicts, 0u);
+  EXPECT_DOUBLE_EQ(sharded.stats().conflict_rate(), 0.0);
+}
+
+TEST(ShardedScheduler, SingleShardConstructionDisarmsSpeculation) {
+  ShardedScheduler sim(1, ShardedScheduler::kDefaultWindowS,
+                       /*speculative=*/true);
+  EXPECT_FALSE(sim.speculative());
+  int fired = 0;
+  sim.schedule_in(1.0, /*shard=*/0, sim::Locality::kShardLocal,
+                  [&] { ++fired; });
+  sim.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.stats().speculated, 0u);
 }
 
 }  // namespace
